@@ -1,0 +1,205 @@
+// Package repro is the public API of the FlowCon reproduction — elastic
+// flow configuration for containerized deep-learning applications (Zheng
+// et al., ICPP 2019) rebuilt as a deterministic Go library.
+//
+// The package re-exports the library's stable surface from the internal
+// implementation packages:
+//
+//   - model profiles and convergence curves (define or pick training jobs),
+//   - scheduling policies (FlowCon, the NA baseline, static equal shares,
+//     and a SLAQ-like quality-driven baseline),
+//   - the experiment runner (assemble workloads, run them to completion,
+//     collect completion times, CPU and growth-efficiency traces),
+//   - the workload generators and report renderers used to regenerate
+//     every table and figure of the paper.
+//
+// # Quick start
+//
+//	subs := repro.FixedSchedule()
+//	fc := repro.Run(repro.Spec{
+//	    Name:        "demo",
+//	    NewPolicy:   repro.FlowConPolicy(0.05, 20),
+//	    Submissions: subs,
+//	})
+//	na := repro.Run(repro.Spec{
+//	    Name:        "demo-na",
+//	    NewPolicy:   repro.NAPolicy(20),
+//	    Submissions: subs,
+//	})
+//	repro.ReportPair(os.Stdout, fc, na, "FlowCon vs NA")
+//
+// See the runnable programs under examples/ for complete scenarios.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/dlmodel"
+	"repro/internal/experiment"
+	"repro/internal/flowcon"
+	"repro/internal/metrics"
+	"repro/internal/realtime"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Model profiles and curves (see internal/dlmodel).
+type (
+	// Profile describes one trainable model: epoch budget, convergence
+	// curve, resource footprint.
+	Profile = dlmodel.Profile
+	// Curve is a noiseless evaluation trajectory over delivered CPU work.
+	Curve = dlmodel.Curve
+	// ExpCurve is exponential loss decay.
+	ExpCurve = dlmodel.ExpCurve
+	// PowerCurve is heavy-tailed power-law decay.
+	PowerCurve = dlmodel.PowerCurve
+	// LogisticCurve is S-shaped progress (accuracy-style metrics).
+	LogisticCurve = dlmodel.LogisticCurve
+	// Framework is the DL platform (PyTorch / TensorFlow).
+	Framework = dlmodel.Framework
+	// Direction says whether the eval function improves down or up.
+	Direction = dlmodel.Direction
+)
+
+// Framework and direction constants.
+const (
+	PyTorch    = dlmodel.PyTorch
+	TensorFlow = dlmodel.TensorFlow
+	Decreasing = dlmodel.Decreasing
+	Increasing = dlmodel.Increasing
+)
+
+// Model catalog (the paper's Table 1 plus the Figure 1 extras).
+var (
+	VAEPyTorch         = dlmodel.VAEPyTorch
+	VAETensorFlow      = dlmodel.VAETensorFlow
+	MNISTPyTorch       = dlmodel.MNISTPyTorch
+	MNISTTensorFlow    = dlmodel.MNISTTensorFlow
+	LSTMCFC            = dlmodel.LSTMCFC
+	LSTMCRF            = dlmodel.LSTMCRF
+	BiRNN              = dlmodel.BiRNN
+	GRU                = dlmodel.GRU
+	CNNLSTM            = dlmodel.CNNLSTM
+	LogisticRegression = dlmodel.LogisticRegression
+	Table1             = dlmodel.Table1
+	Catalog            = dlmodel.Catalog
+	ModelByKey         = dlmodel.ByKey
+)
+
+// FlowCon configuration (see internal/flowcon).
+type (
+	// FlowConConfig holds α, β, the executor interval and back-off knobs.
+	FlowConConfig = flowcon.Config
+	// List is the NL/WL/CL classification.
+	List = flowcon.List
+)
+
+// List constants.
+const (
+	NewList        = flowcon.NewList
+	WatchingList   = flowcon.WatchingList
+	CompletingList = flowcon.CompletingList
+)
+
+// DefaultFlowConConfig is the paper's best observed setting (α=3%,
+// itval=30s, β=2).
+var DefaultFlowConConfig = flowcon.DefaultConfig
+
+// Workloads (see internal/workload).
+type Submission = workload.Submission
+
+// Workload generators for the paper's three scenarios.
+var (
+	FixedSchedule = workload.FixedSchedule
+	RandomFive    = workload.RandomFive
+	RandomN       = workload.RandomN
+)
+
+// Experiments (see internal/experiment).
+type (
+	// Spec describes one simulation run.
+	Spec = experiment.Spec
+	// Result is the outcome: job records, makespan, traces.
+	Result = experiment.Result
+	// Setting is a FlowCon (α, itval) pair or the NA baseline in sweeps.
+	Setting = experiment.Setting
+	// Sweep is a family of runs across settings.
+	Sweep = experiment.Sweep
+	// JobRecord is one job's lifecycle summary.
+	JobRecord = metrics.JobRecord
+	// Series is a time series of observations.
+	Series = metrics.Series
+	// Policy is a worker resource-management strategy.
+	Policy = sched.Policy
+)
+
+// Run executes a Spec to completion.
+var Run = experiment.Run
+
+// Policy factories.
+var (
+	FlowConPolicy            = experiment.FlowConPolicy
+	FlowConPolicyNoListeners = experiment.FlowConPolicyNoListeners
+	FlowConPolicyNoBackoff   = experiment.FlowConPolicyNoBackoff
+	FlowConPolicyBeta        = experiment.FlowConPolicyBeta
+	NAPolicy                 = experiment.NAPolicy
+	StaticEqualPolicy        = experiment.StaticEqualPolicy
+	SLAQPolicy               = experiment.SLAQPolicy
+	TimeSlicePolicy          = experiment.TimeSlicePolicy
+)
+
+// Cluster placement strategies for multi-worker Specs.
+type Placement = cluster.Placement
+
+// Placement strategies.
+var (
+	LeastLoaded   = cluster.LeastLoaded
+	BinPackMemory = cluster.BinPackMemory
+)
+
+// Archive is the serializable form of an experiment's traces.
+type Archive = metrics.Archive
+
+// ReadArchive parses an archive written by Archive.WriteJSON.
+var ReadArchive = metrics.ReadArchive
+
+// Real-time deployment surface (wall-clock driver over the pure core).
+type (
+	// RealtimeDriver runs Algorithm 1/2 against wall-clock time.
+	RealtimeDriver = realtime.Driver
+	// RealtimeRuntime is the container-platform adapter it drives.
+	RealtimeRuntime = realtime.Runtime
+)
+
+// NewRealtimeDriver constructs a wall-clock FlowCon driver.
+var NewRealtimeDriver = realtime.NewDriver
+
+// Figure/table regenerators (one per paper artifact).
+var (
+	Fig1           = experiment.Fig1
+	Fig3           = experiment.Fig3
+	Fig4           = experiment.Fig4
+	Fig5           = experiment.Fig5
+	Fig6           = experiment.Fig6
+	FixedPair      = experiment.FixedPair
+	Fig9           = experiment.Fig9
+	RandomPair     = experiment.RandomPair
+	TenJobPair     = experiment.TenJobPair
+	FifteenJobPair = experiment.FifteenJobPair
+	Table2         = experiment.Table2
+	GrowthTrace    = experiment.GrowthTrace
+	SeedRandomFive = experiment.SeedRandomFive
+	SeedRandomTen  = experiment.SeedRandomTen
+	SeedRandom15   = experiment.SeedRandom15
+)
+
+// Report renderers.
+func ReportSweep(w io.Writer, sw *Sweep)                    { experiment.ReportSweep(w, sw) }
+func ReportTable1(w io.Writer)                              { experiment.ReportTable1(w) }
+func ReportCPUTrace(w io.Writer, res *Result, title string) { experiment.ReportCPUTrace(w, res, title) }
+func ReportPair(w io.Writer, fc, na *Result, title string)  { experiment.ReportPair(w, fc, na, title) }
+func ReportGrowth(w io.Writer, fc, na *Result, job, title string) {
+	experiment.ReportGrowth(w, fc, na, job, title)
+}

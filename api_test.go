@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README's
+// quick start does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	subs := FixedSchedule()
+	fc := Run(Spec{
+		Name:        "api-demo",
+		NewPolicy:   FlowConPolicy(0.05, 20),
+		Submissions: subs,
+	})
+	na := Run(Spec{
+		Name:        "api-demo-na",
+		NewPolicy:   NAPolicy(20),
+		Submissions: subs,
+	})
+	if !fc.Completed || !na.Completed {
+		t.Fatal("runs did not complete")
+	}
+	var sb strings.Builder
+	ReportPair(&sb, fc, na, "api demo")
+	if !strings.Contains(sb.String(), "makespan") {
+		t.Fatalf("report output:\n%s", sb.String())
+	}
+}
+
+// TestPublicAPICatalog checks the re-exported model catalog and config.
+func TestPublicAPICatalog(t *testing.T) {
+	if len(Catalog()) != 10 || len(Table1()) != 6 {
+		t.Fatal("catalog size wrong through facade")
+	}
+	p := ModelByKey("RNN-GRU (Tensorflow)")
+	if p.Framework != TensorFlow || p.Direction != Decreasing {
+		t.Fatalf("profile through facade: %+v", p)
+	}
+	cfg := DefaultFlowConConfig()
+	if cfg.Alpha != 0.03 || cfg.InitialInterval != 30 {
+		t.Fatalf("default config: %+v", cfg)
+	}
+	if NewList.String() != "NL" || CompletingList.String() != "CL" {
+		t.Fatal("list aliases wrong")
+	}
+}
+
+// TestPublicAPICustomProfile validates a user-defined profile and its
+// curve types through the facade.
+func TestPublicAPICustomProfile(t *testing.T) {
+	custom := Profile{
+		Name:         "Custom",
+		Framework:    PyTorch,
+		EvalFunction: "Loss",
+		Direction:    Decreasing,
+		TotalWork:    50,
+		Curve:        LogisticCurve{Start: 10, Final: 1, W0: 10, S: 0.2},
+		CPUDemand:    0.5,
+	}
+	custom.Validate()
+	res := Run(Spec{
+		Name:        "api-custom",
+		NewPolicy:   SLAQPolicy(20),
+		Submissions: []Submission{{Name: "c", Profile: custom, At: 0}},
+	})
+	if !res.Completed {
+		t.Fatal("custom profile run failed")
+	}
+}
+
+// TestPublicAPIArchive round-trips an archive through the facade.
+func TestPublicAPIArchive(t *testing.T) {
+	res := Run(Spec{
+		Name:        "api-archive",
+		NewPolicy:   NAPolicy(20),
+		Submissions: FixedSchedule(),
+	})
+	a := res.Collector.Export()
+	var sb strings.Builder
+	if err := a.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArchive(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != a.Makespan {
+		t.Fatal("archive round trip changed makespan")
+	}
+}

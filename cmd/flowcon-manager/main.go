@@ -1,0 +1,121 @@
+// Command flowcon-manager governs a remote flowcon-worker with the FlowCon
+// algorithm over HTTP — the manager half of the paper's Figure 2.
+//
+// Usage:
+//
+//	flowcon-manager -worker http://localhost:7070 [-alpha 0.03]
+//	                [-itval 30s] [-poll 1s] [-duration 0] [-demo]
+//
+// With -demo, the manager submits the paper's fixed three-job schedule
+// (time-scaled 10x faster so the demo lasts ~40s of wall time) and prints
+// the per-container classification and limits as FlowCon adapts them.
+// -duration bounds the run (0 = until interrupted).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/flowcon"
+	"repro/internal/realtime"
+)
+
+func main() {
+	worker := flag.String("worker", "http://localhost:7070", "worker agent base URL")
+	alpha := flag.Float64("alpha", 0.03, "growth-efficiency threshold α")
+	itval := flag.Duration("itval", 30*time.Second, "executor interval (itval)")
+	poll := flag.Duration("poll", time.Second, "listener poll period")
+	duration := flag.Duration("duration", 0, "total run time (0 = until interrupted)")
+	demo := flag.Bool("demo", false, "submit the demo workload (fixed schedule, 10x time-scaled)")
+	flag.Parse()
+
+	client := agent.NewClient(*worker, nil)
+	pong, err := client.Ping()
+	if err != nil {
+		log.Fatalf("flowcon-manager: worker unreachable: %v", err)
+	}
+	log.Printf("connected to worker (capacity %.2f, %d running)", pong.Capacity, pong.Running)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *duration > 0 {
+		ctx2, cancel2 := context.WithTimeout(ctx, *duration)
+		defer cancel2()
+		ctx = ctx2
+	}
+
+	if *demo {
+		go submitDemo(ctx, client)
+	}
+
+	driver := realtime.NewDriver(flowcon.Config{
+		Alpha:           *alpha,
+		Beta:            2,
+		InitialInterval: itval.Seconds(),
+	}, client)
+
+	go reportLoop(ctx, client, driver)
+
+	log.Printf("FlowCon driver running (alpha=%.0f%%, itval=%s)", *alpha*100, itval)
+	driver.Run(ctx, *poll)
+	log.Printf("stopped after %d Algorithm 1 runs", driver.Runs())
+}
+
+// submitDemo launches the fixed schedule at 10x speed: VAE at t=0,
+// MNIST-PT at t=4s, MNIST-TF at t=8s.
+func submitDemo(ctx context.Context, c *agent.Client) {
+	launch := func(name, model string) {
+		if _, err := c.Launch(name, model); err != nil {
+			log.Printf("demo launch %s: %v", name, err)
+		} else {
+			log.Printf("demo: launched %s (%s)", name, model)
+		}
+	}
+	launch("vae", "VAE (Pytorch)")
+	select {
+	case <-ctx.Done():
+		return
+	case <-time.After(4 * time.Second):
+	}
+	launch("mnist-pt", "MNIST (Pytorch)")
+	select {
+	case <-ctx.Done():
+		return
+	case <-time.After(4 * time.Second):
+	}
+	launch("mnist-tf", "MNIST (Tensorflow)")
+}
+
+// reportLoop prints a status table every few seconds.
+func reportLoop(ctx context.Context, c *agent.Client, d *realtime.Driver) {
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			containers, err := c.Containers()
+			if err != nil {
+				log.Printf("status: %v", err)
+				continue
+			}
+			fmt.Printf("--- %s (interval %.0fs, runs %d)\n",
+				time.Now().Format("15:04:05"), d.Interval(), d.Runs())
+			for _, ci := range containers {
+				list := "-"
+				if l, ok := d.ListOf(ci.ID); ok {
+					list = l.String()
+				}
+				fmt.Printf("  %-12s %-8s %-3s limit=%.3f alloc=%.3f cpu=%.1fs\n",
+					ci.Name, ci.State, list, ci.CPULimit, ci.CPUAlloc, ci.CPUSeconds)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command flowcon-worker runs a live worker agent: an in-process container
+// runtime (synthetic DL jobs advancing in wall-clock time) exposed over
+// the HTTP protocol a flowcon-manager governs — the worker half of the
+// paper's Figure 2, deployable on a separate machine.
+//
+// Usage:
+//
+//	flowcon-worker [-addr :7070] [-capacity 1.0] [-settle 250ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/livedock"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	capacity := flag.Float64("capacity", 1.0, "normalized CPU capacity of this node")
+	settle := flag.Duration("settle", 250*time.Millisecond, "background accounting period")
+	flag.Parse()
+
+	if *capacity <= 0 {
+		log.Fatal("flowcon-worker: capacity must be positive")
+	}
+	node := livedock.NewNode(*capacity)
+	node.OnExit(func(id string) {
+		log.Printf("container %s exited", id)
+	})
+
+	// Background settle loop bounds completion-detection latency even when
+	// no manager is polling.
+	go func() {
+		ticker := time.NewTicker(*settle)
+		defer ticker.Stop()
+		for range ticker.C {
+			node.Settle()
+		}
+	}()
+
+	srv := agent.NewServer(node, *capacity)
+	log.Printf("flowcon-worker listening on %s (capacity %.2f)", *addr, *capacity)
+	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
+		log.Fatal(fmt.Errorf("flowcon-worker: %w", err))
+	}
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s", r.Method, r.URL.Path)
+	})
+}

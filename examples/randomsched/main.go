@@ -1,0 +1,43 @@
+// Randomsched reproduces the random-submission studies of Sections 5.4
+// and 5.5: five models submitted at random times in [0s, 200s), then the
+// 10-job and 15-job scalability workloads, with CPU-usage and
+// growth-efficiency traces for the case-study jobs.
+//
+//	go run ./examples/randomsched
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// Section 5.4: five jobs (LSTM-CFC, VAE, VAET, MNIST, GRU).
+	fmt.Println("Section 5.4 — five jobs with random submission:")
+	repro.ReportSweep(os.Stdout, repro.Fig9())
+	fmt.Println()
+
+	fcR, naR := repro.RandomPair()
+	repro.ReportCPUTrace(os.Stdout, fcR, "Fig10: CPU usage of FlowCon (alpha=3%, itval=30, 5 jobs)")
+	fmt.Println()
+	repro.ReportCPUTrace(os.Stdout, naR, "Fig11: CPU usage of NA (5 jobs)")
+	fmt.Println()
+
+	// Section 5.5: scalability at 10 and 15 jobs.
+	fmt.Println("Section 5.5 — scalability:")
+	fc10, na10 := repro.TenJobPair()
+	repro.ReportPair(os.Stdout, fc10, na10, "Fig12: ten jobs with random submission")
+	fmt.Println()
+
+	// The paper's case studies: Job-2 loses a little, Job-6 wins, and
+	// their growth-efficiency traces explain why.
+	repro.ReportGrowth(os.Stdout, fc10, na10, "Job-2", "Fig13: growth efficiency of Job-2")
+	fmt.Println()
+	repro.ReportGrowth(os.Stdout, fc10, na10, "Job-6", "Fig14: growth efficiency of Job-6")
+	fmt.Println()
+
+	fc15, na15 := repro.FifteenJobPair()
+	repro.ReportPair(os.Stdout, fc15, na15, "Fig17: fifteen jobs with random submission")
+}

@@ -1,0 +1,117 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/flowcon"
+)
+
+// Client talks to a worker agent over HTTP and implements
+// realtime.Runtime, so a FlowCon driver on the manager side can govern the
+// remote worker's containers.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the agent at base (e.g.
+// "http://10.0.0.7:7070"). A nil httpClient uses a 5-second-timeout
+// default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if base == "" {
+		panic("agent: empty base url")
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// Ping checks agent liveness.
+func (c *Client) Ping() (PingResponse, error) {
+	var out PingResponse
+	err := c.get("/v1/ping", &out)
+	return out, err
+}
+
+// RunningStats implements realtime.Runtime. A transport error yields an
+// empty pool — the driver then simply has nothing to manage this cycle,
+// which is the safe degraded behaviour for a monitoring loop.
+func (c *Client) RunningStats() []flowcon.Stat {
+	var out []flowcon.Stat
+	if err := c.get("/v1/stats", &out); err != nil {
+		return nil
+	}
+	return out
+}
+
+// SetCPULimit implements realtime.Runtime via the agent's update endpoint.
+func (c *Client) SetCPULimit(id string, limit float64) error {
+	return c.post(fmt.Sprintf("/v1/containers/%s/update", id), UpdateRequest{CPULimit: limit}, nil)
+}
+
+// Launch starts a catalog model on the remote worker.
+func (c *Client) Launch(name, model string) (string, error) {
+	var out LaunchResponse
+	err := c.post("/v1/containers", LaunchRequest{Name: name, Model: model}, &out)
+	return out.ID, err
+}
+
+// Stop terminates a remote container.
+func (c *Client) Stop(id string) error {
+	return c.post(fmt.Sprintf("/v1/containers/%s/stop", id), struct{}{}, nil)
+}
+
+// Containers lists all remote containers.
+func (c *Client) Containers() ([]ContainerInfo, error) {
+	var out []ContainerInfo
+	err := c.get("/v1/containers", &out)
+	return out, err
+}
+
+// get performs a GET and decodes the JSON response into out.
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("agent: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decode(path, resp, out)
+}
+
+// post performs a POST with a JSON body and decodes the response.
+func (c *Client) post(path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("agent: encoding %s: %w", path, err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("agent: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decode(path, resp, out)
+}
+
+// decode maps non-2xx responses to errors carrying the server's message.
+func decode(path string, resp *http.Response, out any) error {
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		return fmt.Errorf("agent: %s: %s", path, eb.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("agent: decoding %s response: %w", path, err)
+	}
+	return nil
+}

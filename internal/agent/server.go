@@ -1,0 +1,198 @@
+// Package agent provides the network split of Figure 2: a worker-side
+// HTTP agent exposing a live container runtime, and a manager-side client
+// that implements realtime.Runtime over the wire — so a FlowCon driver on
+// the manager machine can govern containers on a remote worker, the way
+// Docker Swarm managers talk to worker daemons.
+//
+// The wire protocol is deliberately small and JSON over HTTP/1.1:
+//
+//	GET  /v1/ping                      liveness + capacity
+//	GET  /v1/stats                     settled counters of running containers
+//	GET  /v1/containers                snapshot of all containers
+//	POST /v1/containers                launch a catalog model {name, model}
+//	POST /v1/containers/{id}/update    set soft CPU limit {cpu_limit}
+//	POST /v1/containers/{id}/stop      stop a running container
+package agent
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/dlmodel"
+	"repro/internal/livedock"
+)
+
+// LaunchRequest asks the agent to start a catalog model in a container.
+type LaunchRequest struct {
+	// Name labels the container (and seeds the job's noise).
+	Name string `json:"name"`
+	// Model is a catalog key, e.g. "MNIST (Tensorflow)".
+	Model string `json:"model"`
+}
+
+// LaunchResponse returns the new container's id.
+type LaunchResponse struct {
+	ID string `json:"id"`
+}
+
+// UpdateRequest sets a container's soft CPU limit.
+type UpdateRequest struct {
+	CPULimit float64 `json:"cpu_limit"`
+}
+
+// ContainerInfo is the wire form of a container snapshot.
+type ContainerInfo struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	CPULimit   float64 `json:"cpu_limit"`
+	CPUAlloc   float64 `json:"cpu_alloc"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+}
+
+// PingResponse reports agent liveness.
+type PingResponse struct {
+	OK       bool    `json:"ok"`
+	Capacity float64 `json:"capacity"`
+	Running  int     `json:"running"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server exposes a livedock node over HTTP. Create with NewServer and
+// mount via Handler.
+type Server struct {
+	node     *livedock.Node
+	capacity float64
+	mux      *http.ServeMux
+}
+
+// NewServer wraps the node (of the given capacity, echoed in /v1/ping).
+func NewServer(node *livedock.Node, capacity float64) *Server {
+	if node == nil {
+		panic("agent: nil node")
+	}
+	s := &Server{node: node, capacity: capacity, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/ping", s.handlePing)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/containers", s.handleList)
+	s.mux.HandleFunc("POST /v1/containers", s.handleLaunch)
+	s.mux.HandleFunc("POST /v1/containers/{id}/update", s.handleUpdate)
+	s.mux.HandleFunc("POST /v1/containers/{id}/stop", s.handleStop)
+	return s
+}
+
+// Handler returns the agent's http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handlePing(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, PingResponse{
+		OK:       true,
+		Capacity: s.capacity,
+		Running:  s.node.RunningCount(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.node.RunningStats())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	snap := s.node.Snapshot()
+	out := make([]ContainerInfo, len(snap))
+	for i, c := range snap {
+		out[i] = ContainerInfo{
+			ID:         c.ID,
+			Name:       c.Name,
+			State:      c.State.String(),
+			CPULimit:   c.Limit,
+			CPUAlloc:   c.Alloc,
+			CPUSeconds: c.CPUSec,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req LaunchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Name == "" || req.Model == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("name and model are required"))
+		return
+	}
+	profile, ok := lookupModel(req.Model)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown model %q", req.Model))
+		return
+	}
+	job := dlmodel.NewJob(req.Name, profile)
+	id, err := s.node.Run(req.Name, job)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, LaunchResponse{ID: id})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	err := s.node.SetCPULimit(r.PathValue("id"), req.CPULimit)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, struct{}{})
+	case errors.Is(err, livedock.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, livedock.ErrBadLimit), errors.Is(err, livedock.ErrNotRunning):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
+	err := s.node.Stop(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, struct{}{})
+	case errors.Is(err, livedock.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, livedock.ErrNotRunning):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+// lookupModel resolves a catalog key without panicking on a miss.
+func lookupModel(key string) (dlmodel.Profile, bool) {
+	for _, p := range dlmodel.Catalog() {
+		if p.Key() == key {
+			return p, true
+		}
+	}
+	return dlmodel.Profile{}, false
+}
+
+// writeJSON writes a JSON response with status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the JSON error envelope.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,445 @@
+// Package cluster provides the manager/worker topology of Figure 2: a
+// Manager accepts job submissions and places containers onto Workers; each
+// Worker hosts a container pool (a simulated Docker daemon) plus whatever
+// resource-management policy is installed on it.
+//
+// As in the paper, all of FlowCon's machinery lives on the worker side —
+// the manager only places jobs and never sees growth efficiency, keeping
+// the scheduling overhead distributed across the cluster.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dlmodel"
+	"repro/internal/flowcon"
+	"repro/internal/sim"
+	"repro/internal/simdocker"
+)
+
+// Default image references pre-pulled onto every worker, one per framework
+// (the paper's community images).
+const (
+	ImagePyTorch    = "pytorch/pytorch:1.0"
+	ImageTensorFlow = "tensorflow/tensorflow:1.13"
+)
+
+// ImageFor maps a model's framework to its container image reference.
+func ImageFor(fw dlmodel.Framework) string {
+	switch fw {
+	case dlmodel.PyTorch:
+		return ImagePyTorch
+	case dlmodel.TensorFlow:
+		return ImageTensorFlow
+	default:
+		panic(fmt.Sprintf("cluster: unknown framework %q", fw))
+	}
+}
+
+// DefaultMemoryBytes is each worker's physical memory, matching the
+// paper's R320 testbed node (16 GB).
+const DefaultMemoryBytes = 16 << 30
+
+// Worker is one node in the cluster: a simulated Docker daemon plus
+// arrival/exit fan-out. It implements flowcon.Runtime so a FlowCon
+// controller (or any baseline policy) can drive it directly.
+type Worker struct {
+	name   string
+	engine *sim.Engine
+	daemon *simdocker.Daemon
+
+	// maxContainers caps concurrent containers for admission control
+	// (0 = unlimited).
+	maxContainers int
+	// failed marks a crashed worker: it hosts nothing until repaired.
+	failed bool
+
+	startSubs []func(id string)
+	exitSubs  []func(id string)
+	failSubs  []func()
+}
+
+// NewWorker creates a worker with the given normalized CPU capacity, the
+// testbed's 16 GB of memory, and the framework images pre-pulled.
+func NewWorker(name string, engine *sim.Engine, capacity float64) *Worker {
+	w := &Worker{
+		name:   name,
+		engine: engine,
+		daemon: simdocker.NewDaemon(engine, capacity),
+	}
+	w.daemon.SetIDPrefix(name)
+	w.daemon.SetMemoryCapacity(DefaultMemoryBytes)
+	w.daemon.Pull(simdocker.Image{Ref: ImagePyTorch, SizeBytes: 750 << 20})
+	w.daemon.Pull(simdocker.Image{Ref: ImageTensorFlow, SizeBytes: 680 << 20})
+	w.daemon.OnStart(func(c *simdocker.Container) {
+		for _, fn := range w.startSubs {
+			fn(c.ID())
+		}
+	})
+	w.daemon.OnExit(func(c *simdocker.Container) {
+		for _, fn := range w.exitSubs {
+			fn(c.ID())
+		}
+	})
+	return w
+}
+
+// Name returns the worker's name.
+func (w *Worker) Name() string { return w.name }
+
+// Engine returns the simulation engine the worker runs on.
+func (w *Worker) Engine() *sim.Engine { return w.engine }
+
+// Daemon exposes the underlying container runtime.
+func (w *Worker) Daemon() *simdocker.Daemon { return w.daemon }
+
+// OnContainerStart subscribes to container-start notifications (the New
+// Cons listener feed).
+func (w *Worker) OnContainerStart(fn func(id string)) {
+	w.startSubs = append(w.startSubs, fn)
+}
+
+// OnContainerExit subscribes to container-exit notifications (the
+// Finished Cons listener feed).
+func (w *Worker) OnContainerExit(fn func(id string)) {
+	w.exitSubs = append(w.exitSubs, fn)
+}
+
+// RunningStats implements flowcon.Runtime: settled per-container counters.
+func (w *Worker) RunningStats() []flowcon.Stat {
+	w.daemon.Sync()
+	conts := w.daemon.PS(false)
+	out := make([]flowcon.Stat, 0, len(conts))
+	for _, c := range conts {
+		s, err := w.daemon.Stats(c.ID())
+		if err != nil {
+			continue
+		}
+		out = append(out, flowcon.Stat{
+			ID:          s.ID,
+			Eval:        s.Eval,
+			CPUSeconds:  s.CPUSeconds,
+			BlkIOBytes:  s.BlkIOBytes,
+			NetIOBytes:  s.NetIOBytes,
+			MemoryBytes: s.MemoryBytes,
+		})
+	}
+	return out
+}
+
+// SetCPULimit implements flowcon.Runtime via docker update.
+func (w *Worker) SetCPULimit(id string, limit float64) error {
+	return w.daemon.Update(id, limit)
+}
+
+// RunningCount returns the number of running containers on the worker.
+func (w *Worker) RunningCount() int { return w.daemon.RunningCount() }
+
+// SetMaxContainers caps the number of concurrently running containers the
+// worker admits (0 = unlimited).
+func (w *Worker) SetMaxContainers(n int) {
+	if n < 0 {
+		panic("cluster: negative container cap")
+	}
+	w.maxContainers = n
+}
+
+// Failed reports whether the worker has crashed and not been repaired.
+func (w *Worker) Failed() bool { return w.failed }
+
+// OnFail subscribes to worker-failure notifications.
+func (w *Worker) OnFail(fn func()) { w.failSubs = append(w.failSubs, fn) }
+
+// Fail crashes the worker: every running container is stopped (training
+// progress since the last checkpoint — or all of it, without
+// checkpointing — is lost) and the worker stops admitting work until
+// Repair. Exit notifications fire for
+// each killed container, so policies and listeners observe the departures.
+func (w *Worker) Fail() {
+	if w.failed {
+		return
+	}
+	w.failed = true
+	for _, c := range w.daemon.PS(false) {
+		// Stop cannot fail for a container PS(false) just returned.
+		_ = w.daemon.Stop(c.ID())
+	}
+	for _, fn := range w.failSubs {
+		fn()
+	}
+}
+
+// Repair brings a failed worker back online with an empty pool.
+func (w *Worker) Repair() { w.failed = false }
+
+// CanHost reports whether the worker can admit a job with the given
+// profile right now: it is alive, below its container cap, and the job's
+// resident memory fits the node without overcommit.
+func (w *Worker) CanHost(p dlmodel.Profile) bool {
+	if w.failed {
+		return false
+	}
+	if w.maxContainers > 0 && w.RunningCount() >= w.maxContainers {
+		return false
+	}
+	if cap := w.daemon.MemoryCapacity(); cap > 0 {
+		if w.daemon.MemoryUsed()+p.MemoryBytes > cap {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryFree returns the unreserved node memory in bytes.
+func (w *Worker) MemoryFree() float64 {
+	return w.daemon.MemoryCapacity() - w.daemon.MemoryUsed()
+}
+
+// Launch runs a DL job in a new container on this worker and returns the
+// container. Name is the experiment-level job label (e.g. "Job-3").
+func (w *Worker) Launch(name string, job *dlmodel.Job) (*simdocker.Container, error) {
+	return w.daemon.Run(simdocker.RunSpec{
+		Image:    ImageFor(job.Profile().Framework),
+		Name:     name,
+		Workload: job,
+	})
+}
+
+// Placement selects a worker able to host the given job, or nil to make
+// the manager queue the job until capacity frees up.
+type Placement func(workers []*Worker, p dlmodel.Profile) *Worker
+
+// LeastLoaded places on the hosting-capable worker with the fewest running
+// containers, breaking ties by declaration order — the spread strategy.
+func LeastLoaded(workers []*Worker, p dlmodel.Profile) *Worker {
+	var best *Worker
+	for _, w := range workers {
+		if !w.CanHost(p) {
+			continue
+		}
+		if best == nil || w.RunningCount() < best.RunningCount() {
+			best = w
+		}
+	}
+	return best
+}
+
+// BinPackMemory places on the hosting-capable worker with the least free
+// memory that still fits the job — the consolidation strategy used by
+// server-consolidation schedulers in the related work.
+func BinPackMemory(workers []*Worker, p dlmodel.Profile) *Worker {
+	var best *Worker
+	for _, w := range workers {
+		if !w.CanHost(p) {
+			continue
+		}
+		if best == nil || w.MemoryFree() < best.MemoryFree() {
+			best = w
+		}
+	}
+	return best
+}
+
+// pendingJob is a submission waiting for capacity (or retry after a
+// worker failure, possibly resuming from checkpointed work).
+type pendingJob struct {
+	name    string
+	profile dlmodel.Profile
+	// resumeWork is the checkpointed CPU work a rescheduled job restarts
+	// with (0 = from scratch).
+	resumeWork float64
+}
+
+// Manager accepts user submissions and reconciles them onto workers,
+// mirroring the manager role in Figure 2: it owns placement, an admission
+// queue for jobs no worker can currently host, and rescheduling of jobs
+// lost to worker failures.
+type Manager struct {
+	engine    *sim.Engine
+	workers   []*Worker
+	placement Placement
+	submitted int
+	placed    map[string]*Worker
+	profiles  map[string]dlmodel.Profile
+	queue     []pendingJob
+	requeued  int
+	onPlace   []func(jobName string, w *Worker, c *simdocker.Container)
+
+	// checkpointInterval, when positive, enables checkpoint-based
+	// recovery: jobs persist their progress every interval of delivered
+	// CPU work, and a job lost to a worker failure resumes from its last
+	// checkpoint instead of restarting from scratch. This models
+	// periodic model-state snapshots (an extension beyond the paper,
+	// whose jobs do not checkpoint).
+	checkpointInterval float64
+}
+
+// NewManager creates a manager over the given workers. A nil placement
+// defaults to LeastLoaded. The manager subscribes to worker exits so
+// queued jobs are admitted as capacity frees, and to worker failures so
+// lost jobs are rescheduled (training restarts from scratch — the paper's
+// jobs do not checkpoint).
+func NewManager(engine *sim.Engine, workers []*Worker, placement Placement) *Manager {
+	if len(workers) == 0 {
+		panic("cluster: manager needs at least one worker")
+	}
+	if placement == nil {
+		placement = LeastLoaded
+	}
+	m := &Manager{
+		engine:    engine,
+		workers:   workers,
+		placement: placement,
+		placed:    make(map[string]*Worker),
+		profiles:  make(map[string]dlmodel.Profile),
+	}
+	for _, w := range workers {
+		w := w
+		w.OnContainerExit(func(string) {
+			// Admission happens at listener priority so the pool state the
+			// placement sees reflects the exit.
+			if len(m.queue) > 0 {
+				engine.At(engine.Now(), sim.PriorityListener, "manager.drain", m.drainQueue)
+			}
+		})
+		w.OnFail(func() { m.handleFailure(w) })
+	}
+	return m
+}
+
+// Workers returns the managed workers.
+func (m *Manager) Workers() []*Worker { return m.workers }
+
+// OnPlace subscribes to job placements (metrics uses this to bind job
+// labels to container IDs; re-placements after failures fire again).
+func (m *Manager) OnPlace(fn func(jobName string, w *Worker, c *simdocker.Container)) {
+	m.onPlace = append(m.onPlace, fn)
+}
+
+// Submit schedules a job to be launched at virtual time `at`. The job name
+// must be unique per experiment. If no worker can host the job at its
+// arrival, it queues until one can.
+func (m *Manager) Submit(at sim.Time, name string, profile dlmodel.Profile) {
+	if _, dup := m.placed[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate job name %q", name))
+	}
+	m.placed[name] = nil // reserve
+	m.profiles[name] = profile
+	m.submitted++
+	m.engine.At(at, sim.PriorityState, "manager.place."+name, func() {
+		m.tryPlace(pendingJob{name: name, profile: profile})
+	})
+}
+
+// tryPlace launches the job now or queues it.
+func (m *Manager) tryPlace(job pendingJob) {
+	w := m.placement(m.workers, job.profile)
+	if w == nil {
+		m.queue = append(m.queue, job)
+		return
+	}
+	m.placeOn(w, job)
+}
+
+// drainQueue admits queued jobs in submission order, backfilling past any
+// job that still fits nowhere (a small job may be admitted while a large
+// one keeps waiting for memory).
+func (m *Manager) drainQueue() {
+	pending := m.queue
+	m.queue = nil
+	for _, job := range pending {
+		w := m.placement(m.workers, job.profile)
+		if w == nil {
+			m.queue = append(m.queue, job)
+			continue
+		}
+		m.placeOn(w, job)
+	}
+}
+
+// EnableCheckpointing turns on checkpoint-based failure recovery with the
+// given checkpoint interval in CPU-work units (e.g. 30 ≈ one snapshot per
+// 30 cpu-seconds of training).
+func (m *Manager) EnableCheckpointing(interval float64) {
+	if interval <= 0 {
+		panic("cluster: non-positive checkpoint interval")
+	}
+	m.checkpointInterval = interval
+}
+
+// placeOn launches a job on a specific worker and notifies subscribers.
+func (m *Manager) placeOn(w *Worker, job pendingJob) {
+	dljob := dlmodel.NewJobFromCheckpoint(job.name, job.profile, job.resumeWork)
+	c, err := w.Launch(job.name, dljob)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: launch %s: %v", job.name, err))
+	}
+	m.placed[job.name] = w
+	for _, fn := range m.onPlace {
+		fn(job.name, w, c)
+	}
+}
+
+// handleFailure reschedules every job that was running on the failed
+// worker. The containers were already stopped by Worker.Fail; the jobs
+// restart from scratch on whichever worker can host them.
+func (m *Manager) handleFailure(failed *Worker) {
+	var lost []pendingJob
+	for name, w := range m.placed {
+		if w != failed {
+			continue
+		}
+		// Only reschedule jobs whose container did not finish.
+		c, err := failed.Daemon().Get(nameToContainer(failed, name))
+		if err == nil && c.Workload().Done() {
+			continue
+		}
+		job := pendingJob{name: name, profile: m.profiles[name]}
+		if m.checkpointInterval > 0 && err == nil {
+			if wr, ok := c.Workload().(interface{ Work() float64 }); ok {
+				// Resume from the last completed snapshot.
+				job.resumeWork = math.Floor(wr.Work()/m.checkpointInterval) * m.checkpointInterval
+			}
+		}
+		lost = append(lost, job)
+		m.placed[name] = nil
+		m.requeued++
+	}
+	// Deterministic retry order.
+	sortPending(lost)
+	m.engine.At(m.engine.Now(), sim.PriorityListener, "manager.reschedule", func() {
+		for _, job := range lost {
+			m.tryPlace(job)
+		}
+	})
+}
+
+// nameToContainer finds the container id for a job name on a worker.
+func nameToContainer(w *Worker, name string) string {
+	for _, c := range w.Daemon().PS(true) {
+		if c.Name() == name {
+			return c.ID()
+		}
+	}
+	return ""
+}
+
+// sortPending orders pending jobs by name for deterministic rescheduling.
+func sortPending(jobs []pendingJob) {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].name < jobs[j].name })
+}
+
+// Submitted returns how many jobs have been submitted to the manager.
+func (m *Manager) Submitted() int { return m.submitted }
+
+// Queued returns how many jobs are waiting for capacity.
+func (m *Manager) Queued() int { return len(m.queue) }
+
+// Requeued returns how many job placements were lost to worker failures
+// and rescheduled.
+func (m *Manager) Requeued() int { return m.requeued }
+
+// WorkerOf returns the worker a job was placed on (nil before placement).
+func (m *Manager) WorkerOf(name string) *Worker { return m.placed[name] }

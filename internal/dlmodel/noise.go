@@ -1,0 +1,57 @@
+package dlmodel
+
+import "math"
+
+// noiseQuantum is the lattice spacing (in work units) of the value noise.
+// One unit of work ≈ one second of full-node CPU, so measurement noise
+// decorrelates on roughly the timescale of a mini-batch epoch.
+const noiseQuantum = 2.0
+
+// splitmix64 is the SplitMix64 mixing function — a tiny, high-quality,
+// allocation-free hash used to derive deterministic per-(job, lattice-point)
+// noise. Determinism in work coordinates (not sample coordinates) matters:
+// two schedulers sampling the same job at different times must observe the
+// same underlying noisy trajectory.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashToUnit maps a hash to a uniform value in [-1, 1).
+func hashToUnit(h uint64) float64 {
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}
+
+// valueNoise returns smooth deterministic noise in [-1, 1] as a function of
+// work, by linearly interpolating hash values at lattice points. seed
+// distinguishes jobs so concurrent containers do not see correlated noise.
+func valueNoise(seed uint64, work float64) float64 {
+	if work < 0 {
+		work = 0
+	}
+	pos := work / noiseQuantum
+	lo := math.Floor(pos)
+	frac := pos - lo
+	a := hashToUnit(splitmix64(seed ^ splitmix64(uint64(int64(lo)))))
+	b := hashToUnit(splitmix64(seed ^ splitmix64(uint64(int64(lo)+1))))
+	// Smoothstep interpolation avoids slope discontinuities at lattice
+	// points, which would show up as spikes in growth efficiency.
+	s := frac * frac * (3 - 2*frac)
+	return a + (b-a)*s
+}
+
+// stringSeed derives a stable 64-bit seed from a job identifier (FNV-1a).
+func stringSeed(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func TestFailureInjectionRecovers(t *testing.T) {
+	res := Run(Spec{
+		Name:        "failure",
+		NewPolicy:   FlowConPolicy(0.05, 20),
+		Submissions: workload.RandomFive(7),
+		Workers:     2,
+		Failures:    map[int]float64{0: 120},
+	})
+	if !res.Completed {
+		t.Fatal("workload did not survive the worker failure")
+	}
+	if res.Requeued == 0 {
+		t.Fatal("failure at t=120 requeued no jobs")
+	}
+	// Every job record ends on the surviving worker or finished before
+	// the crash on worker-0.
+	restarts := 0
+	for _, j := range res.Jobs {
+		restarts += j.Restarts
+	}
+	if restarts != res.Requeued {
+		t.Fatalf("restarts %d != requeued %d", restarts, res.Requeued)
+	}
+}
+
+func TestFailureDelaysAffectedJobs(t *testing.T) {
+	base := Spec{
+		Name:        "nofail",
+		NewPolicy:   NAPolicy(20),
+		Submissions: workload.RandomFive(7),
+		Workers:     2,
+	}
+	clean := Run(base)
+	failed := base
+	failed.Name = "fail"
+	failed.Failures = map[int]float64{0: 120}
+	crashed := Run(failed)
+	if !crashed.Completed {
+		t.Fatal("did not complete")
+	}
+	// Lost training work must extend the makespan.
+	if crashed.Makespan <= clean.Makespan {
+		t.Fatalf("failure did not extend makespan: %v vs %v", crashed.Makespan, clean.Makespan)
+	}
+}
+
+func TestFailureIndexValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range failure index did not panic")
+		}
+	}()
+	Run(Spec{
+		Name:        "bad",
+		NewPolicy:   NAPolicy(20),
+		Submissions: workload.FixedSchedule(),
+		Failures:    map[int]float64{5: 10},
+	})
+}
+
+func TestAdmissionQueueUnderContainerCap(t *testing.T) {
+	res := Run(Spec{
+		Name:                   "capped",
+		NewPolicy:              NAPolicy(20),
+		Submissions:            workload.RandomFive(7),
+		MaxContainersPerWorker: 2,
+	})
+	if !res.Completed {
+		t.Fatal("capped run did not complete")
+	}
+	// With at most 2 concurrent jobs the makespan cannot beat the
+	// unconstrained run's.
+	free := Run(Spec{
+		Name:        "free",
+		NewPolicy:   NAPolicy(20),
+		Submissions: workload.RandomFive(7),
+	})
+	if res.Makespan < free.Makespan-1e-9 {
+		t.Fatalf("capped makespan %v beat unconstrained %v", res.Makespan, free.Makespan)
+	}
+}
+
+func TestBinPackPlacementSpec(t *testing.T) {
+	res := Run(Spec{
+		Name:        "binpack",
+		NewPolicy:   NAPolicy(20),
+		Submissions: workload.RandomFive(7),
+		Workers:     2,
+		Placement:   cluster.BinPackMemory,
+	})
+	if !res.Completed {
+		t.Fatal("binpack run did not complete")
+	}
+	// All five jobs fit in 16GB, so bin packing keeps them on one worker.
+	used := map[string]bool{}
+	for _, j := range res.Jobs {
+		used[j.Worker] = true
+	}
+	if len(used) != 1 {
+		t.Fatalf("binpack used %d workers, want 1", len(used))
+	}
+}
+
+func TestMemoryOverridesSpec(t *testing.T) {
+	// Tiny node memory forces serial admission; disabling memory does not.
+	serial := Run(Spec{
+		Name:                 "tiny-memory",
+		NewPolicy:            NAPolicy(20),
+		Submissions:          workload.FixedSchedule(),
+		MemoryBytesPerWorker: 1500 << 20, // fits one job at a time
+	})
+	if !serial.Completed {
+		t.Fatal("memory-capped run did not complete")
+	}
+	parallel := Run(Spec{
+		Name:                 "no-memory-model",
+		NewPolicy:            NAPolicy(20),
+		Submissions:          workload.FixedSchedule(),
+		MemoryBytesPerWorker: -1,
+	})
+	if !parallel.Completed {
+		t.Fatal("memory-free run did not complete")
+	}
+	// Serial admission can't start MNIST-TF at its 80s submission.
+	s, _ := serial.Job("MNIST (Tensorflow)")
+	p, _ := parallel.Job("MNIST (Tensorflow)")
+	if s.StartedAt <= p.StartedAt {
+		t.Fatalf("memory cap did not delay admission: %v vs %v", s.StartedAt, p.StartedAt)
+	}
+}
+
+func TestCheckpointingSpeedsRecovery(t *testing.T) {
+	base := Spec{
+		Name:        "ckpt",
+		NewPolicy:   NAPolicy(20),
+		Submissions: workload.RandomFive(7),
+		Workers:     2,
+		Failures:    map[int]float64{0: 150},
+	}
+	scratch := Run(base)
+	withCkpt := base
+	withCkpt.CheckpointWork = 20
+	resumed := Run(withCkpt)
+	if !scratch.Completed || !resumed.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if resumed.Makespan >= scratch.Makespan {
+		t.Fatalf("checkpointing did not shorten recovery: %v vs %v",
+			resumed.Makespan, scratch.Makespan)
+	}
+	if resumed.Requeued == 0 {
+		t.Fatal("no jobs were requeued despite the crash")
+	}
+}
+
+func TestCheckpointIntervalValidation(t *testing.T) {
+	e := simNewEngineForTest()
+	w := cluster.NewWorker("w0", e, 1.0)
+	m := cluster.NewManager(e, []*cluster.Worker{w}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive checkpoint interval did not panic")
+		}
+	}()
+	m.EnableCheckpointing(0)
+}
+
+// simNewEngineForTest avoids importing sim at the top for one helper.
+func simNewEngineForTest() *sim.Engine { return sim.NewEngine() }

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"repro/internal/flowcon"
+	"repro/internal/sched"
+)
+
+// FlowConPolicy returns a policy factory for FlowCon with the given α and
+// initial interval, using the paper-calibrated β=2 and wiring the run's
+// tracer so growth efficiency is recorded.
+func FlowConPolicy(alpha, itval float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(tr flowcon.Tracer) sched.Policy {
+		return &sched.FlowCon{
+			Config: flowcon.Config{
+				Alpha:           alpha,
+				Beta:            2,
+				InitialInterval: itval,
+			},
+			Tracer: tr,
+		}
+	}
+}
+
+// FlowConPolicyNoListeners is FlowCon without Algorithm 2's real-time
+// listeners — the ablation quantifying what arrival/departure interrupts
+// contribute beyond the periodic executor.
+func FlowConPolicyNoListeners(alpha, itval float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(tr flowcon.Tracer) sched.Policy {
+		return &sched.FlowCon{
+			Config: flowcon.Config{
+				Alpha:           alpha,
+				Beta:            2,
+				InitialInterval: itval,
+			},
+			Tracer:      tr,
+			NoListeners: true,
+		}
+	}
+}
+
+// FlowConPolicyBeta is FlowCon with an explicit Completing-list floor
+// factor β, for the lower-bound ablation (floor = 1/(β·n)).
+func FlowConPolicyBeta(alpha, itval, beta float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(tr flowcon.Tracer) sched.Policy {
+		return &sched.FlowCon{
+			Config: flowcon.Config{
+				Alpha:           alpha,
+				Beta:            beta,
+				InitialInterval: itval,
+			},
+			Tracer: tr,
+		}
+	}
+}
+
+// FlowConPolicyNoBackoff is FlowCon with the exponential back-off capped
+// at the initial interval — the scheduling-overhead ablation.
+func FlowConPolicyNoBackoff(alpha, itval float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(tr flowcon.Tracer) sched.Policy {
+		return &sched.FlowCon{
+			Config: flowcon.Config{
+				Alpha:           alpha,
+				Beta:            2,
+				InitialInterval: itval,
+				MaxInterval:     itval,
+			},
+			Tracer: tr,
+		}
+	}
+}
+
+// NAPolicy returns the paper's baseline: default Docker free competition,
+// instrumented with a monitor-only observer so growth efficiency is still
+// recorded for Figures 13/14 (the paper plots G for NA too).
+func NAPolicy(observeItval float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(tr flowcon.Tracer) sched.Policy {
+		return &observedNA{itval: observeItval, tracer: tr}
+	}
+}
+
+// StaticEqualPolicy returns the static equal-share strawman.
+func StaticEqualPolicy() func(tr flowcon.Tracer) sched.Policy {
+	return func(flowcon.Tracer) sched.Policy { return sched.StaticEqual{} }
+}
+
+// SLAQPolicy returns the SLAQ-like quality-driven baseline.
+func SLAQPolicy(interval float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(flowcon.Tracer) sched.Policy { return &sched.SLAQ{Interval: interval} }
+}
+
+// TimeSlicePolicy returns the Gandiva-style time-slicing baseline with the
+// given number of concurrent slots and rotation quantum.
+func TimeSlicePolicy(slots int, quantum float64) func(tr flowcon.Tracer) sched.Policy {
+	return func(flowcon.Tracer) sched.Policy {
+		return &sched.TimeSlice{Slots: slots, Quantum: quantum}
+	}
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dlmodel"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+)
+
+// ReportSweep renders a Figures 3-6/9 style sweep: one row per job with
+// completion times across settings, plus the makespan row.
+func ReportSweep(w io.Writer, sw *Sweep) {
+	fmt.Fprintln(w, sw.Title)
+	header := []string{"job"}
+	for _, s := range sw.Settings {
+		header = append(header, s.Label())
+	}
+	var rows [][]string
+	for _, job := range sw.JobNames {
+		row := []string{job}
+		for _, res := range sw.Results {
+			row = append(row, fmt.Sprintf("%.1f", res.CompletionTimes()[job]))
+		}
+		rows = append(rows, row)
+	}
+	mk := []string{"makespan"}
+	for _, res := range sw.Results {
+		mk = append(mk, fmt.Sprintf("%.1f", res.Makespan))
+	}
+	rows = append(rows, mk)
+	plot.Table(w, header, rows)
+}
+
+// ReportTable1 renders the Table 1 model catalog.
+func ReportTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Tested Deep Learning Models")
+	var rows [][]string
+	for _, p := range dlmodel.Table1() {
+		rows = append(rows, []string{p.Name, p.EvalFunction, string(p.Framework)})
+	}
+	plot.Table(w, []string{"Model", "Eval. Function", "Plat."}, rows)
+}
+
+// ReportTable2 renders the Table 2 reduction rows.
+func ReportTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: Completion Time Reduction of MNIST (Tensorflow)")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Setting.Label(),
+			fmt.Sprintf("%.1f%%", r.Reduction*100),
+		})
+	}
+	plot.Table(w, []string{"alpha,itval", "Reduction"}, cells)
+}
+
+// ReportCPUTrace renders a Figures 7/8/10/11/15/16 style CPU-usage chart
+// for every job in the result.
+func ReportCPUTrace(w io.Writer, res *Result, title string) {
+	var lines []plot.Line
+	for _, j := range res.Jobs {
+		s := res.Collector.CPUSeries(j.Name)
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		lines = append(lines, plot.Line{Name: j.Name, Points: s.Points()})
+	}
+	plot.ASCII(w, title, lines, 72, 16)
+}
+
+// ReportGrowth renders a Figures 13/14 style growth-efficiency comparison
+// for one job under FlowCon and NA.
+func ReportGrowth(w io.Writer, fc, na *Result, job, title string) {
+	lines := []plot.Line{
+		{Name: "FlowCon-" + job, Points: GrowthTrace(fc, job).Points()},
+		{Name: "NA-" + job, Points: GrowthTrace(na, job).Points()},
+	}
+	plot.ASCII(w, title, lines, 72, 14)
+}
+
+// ReportFig1 renders the Figure 1 training-progress curves.
+func ReportFig1(w io.Writer, curves []ModelCurve) {
+	var lines []plot.Line
+	for _, c := range curves {
+		var pts []metrics.Point
+		for _, p := range c.Points {
+			pts = append(pts, metrics.Point{T: p.TimeFrac, V: p.Progress})
+		}
+		lines = append(lines, plot.Line{Name: c.Model, Points: pts})
+	}
+	plot.ASCII(w, "Fig1: training progress of five models (normalized)", lines, 72, 16)
+}
+
+// ReportPair renders a Figures 12/17 style per-job completion comparison
+// between FlowCon and NA, including makespans and win/loss counts.
+func ReportPair(w io.Writer, fc, na *Result, title string) {
+	fmt.Fprintln(w, title)
+	fcT := fc.CompletionTimes()
+	naT := na.CompletionTimes()
+	wins := 0
+	var rows [][]string
+	for _, j := range fc.Jobs {
+		f, n := fcT[j.Name], naT[j.Name]
+		delta := (n - f) / n * 100
+		if f < n {
+			wins++
+		}
+		rows = append(rows, []string{
+			j.Name, j.Model,
+			fmt.Sprintf("%.1f", f), fmt.Sprintf("%.1f", n),
+			fmt.Sprintf("%+.1f%%", delta),
+		})
+	}
+	plot.Table(w, []string{"job", "model", fc.Policy, "NA", "reduction"}, rows)
+	fmt.Fprintf(w, "  makespan: %s=%.1f NA=%.1f (%.1f%% better)\n",
+		fc.Policy, fc.Makespan, na.Makespan, (na.Makespan-fc.Makespan)/na.Makespan*100)
+	fmt.Fprintf(w, "  jobs improved: %d/%d\n", wins, len(fc.Jobs))
+}

@@ -1,0 +1,216 @@
+// Package experiment assembles full evaluation runs: engine + workers +
+// manager + policy + metrics, one function per figure/table of the paper.
+// Each runner returns structured results that the CLI renders as the
+// paper-shaped tables and the benchmark harness asserts against.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/flowcon"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simdocker"
+	"repro/internal/workload"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	// Name labels the run in reports.
+	Name string
+	// NewPolicy constructs the per-worker resource-management policy; it
+	// receives the run's tracer (the metrics collector) for policies that
+	// record growth efficiency. Required.
+	NewPolicy func(tr flowcon.Tracer) sched.Policy
+	// Submissions is the job arrival schedule. Required, non-empty.
+	Submissions []workload.Submission
+	// Workers is the node count (default 1, as in the paper's testbed).
+	Workers int
+	// Capacity is each node's normalized CPU capacity (default 1.0).
+	Capacity float64
+	// SamplePeriod is the CPU-usage sampling period in seconds
+	// (default 2, comparable to docker stats cadence).
+	SamplePeriod float64
+	// Horizon is the safety cap on simulated time (default 50000s).
+	Horizon float64
+	// ContentionOverhead is the per-extra-container efficiency cost on
+	// each node (see simdocker.Daemon.SetContentionOverhead). Zero means
+	// the calibrated default (0.06); negative disables contention for an
+	// ideal node.
+	ContentionOverhead float64
+	// Placement selects workers for jobs (nil = cluster.LeastLoaded;
+	// cluster.BinPackMemory consolidates by memory).
+	Placement cluster.Placement
+	// MaxContainersPerWorker caps concurrent containers per node for
+	// admission control (0 = unlimited); overflow jobs queue at the
+	// manager.
+	MaxContainersPerWorker int
+	// MemoryBytesPerWorker overrides node memory (0 = the testbed's
+	// 16 GB; negative disables memory modelling).
+	MemoryBytesPerWorker float64
+	// Failures injects worker crashes: worker index → crash time.
+	// Affected jobs restart from scratch on surviving workers.
+	Failures map[int]float64
+	// CheckpointWork enables checkpoint-based recovery: jobs snapshot
+	// their progress every CheckpointWork cpu-seconds and resume from the
+	// last snapshot after a failure (0 = no checkpointing, the paper's
+	// behaviour).
+	CheckpointWork float64
+}
+
+// DefaultContentionOverhead is the calibrated per-extra-container
+// efficiency cost reproducing the paper testbed's co-location penalty.
+const DefaultContentionOverhead = 0.06
+
+// Result is the outcome of one run.
+type Result struct {
+	Name     string
+	Policy   string
+	Jobs     []metrics.JobRecord
+	Makespan float64
+	// Completed is false if the horizon was hit before all jobs finished.
+	Completed bool
+	// Collector retains the full traces for figure rendering.
+	Collector *metrics.Collector
+	// AlgorithmRuns / LimitUpdates quantify scheduling overhead for
+	// FlowCon policies (zero otherwise).
+	AlgorithmRuns int
+	LimitUpdates  int
+	// Requeued counts job placements lost to injected worker failures
+	// and rescheduled.
+	Requeued int
+}
+
+// CompletionTimes returns job name → completion time (finish − start).
+func (r *Result) CompletionTimes() map[string]float64 {
+	out := make(map[string]float64, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if j.Finished {
+			out[j.Name] = j.CompletionTime()
+		}
+	}
+	return out
+}
+
+// Job returns the record for a named job.
+func (r *Result) Job(name string) (metrics.JobRecord, bool) {
+	for _, j := range r.Jobs {
+		if j.Name == name {
+			return j, true
+		}
+	}
+	return metrics.JobRecord{}, false
+}
+
+// Run executes the spec to completion (or horizon) and returns the result.
+func Run(spec Spec) *Result {
+	if spec.NewPolicy == nil {
+		panic("experiment: spec without policy")
+	}
+	if len(spec.Submissions) == 0 {
+		panic("experiment: spec without submissions")
+	}
+	if spec.Workers == 0 {
+		spec.Workers = 1
+	}
+	if spec.Capacity == 0 {
+		spec.Capacity = 1.0
+	}
+	if spec.SamplePeriod == 0 {
+		spec.SamplePeriod = 2.0
+	}
+	if spec.Horizon == 0 {
+		spec.Horizon = 50000
+	}
+	switch {
+	case spec.ContentionOverhead == 0:
+		spec.ContentionOverhead = DefaultContentionOverhead
+	case spec.ContentionOverhead < 0:
+		spec.ContentionOverhead = 0
+	}
+
+	engine := sim.NewEngine()
+	collector := metrics.NewCollector(engine, spec.SamplePeriod)
+
+	workers := make([]*cluster.Worker, spec.Workers)
+	policies := make([]sched.Policy, spec.Workers)
+	for i := range workers {
+		w := cluster.NewWorker(fmt.Sprintf("worker-%d", i), engine, spec.Capacity)
+		w.Daemon().SetContentionOverhead(spec.ContentionOverhead)
+		switch {
+		case spec.MemoryBytesPerWorker > 0:
+			w.Daemon().SetMemoryCapacity(spec.MemoryBytesPerWorker)
+		case spec.MemoryBytesPerWorker < 0:
+			w.Daemon().SetMemoryCapacity(0)
+		}
+		if spec.MaxContainersPerWorker > 0 {
+			w.SetMaxContainers(spec.MaxContainersPerWorker)
+		}
+		workers[i] = w
+		collector.AttachWorker(w.Name(), w.Daemon())
+		p := spec.NewPolicy(collector)
+		p.Attach(engine, w)
+		policies[i] = p
+	}
+	for idx, at := range spec.Failures {
+		if idx < 0 || idx >= len(workers) {
+			panic(fmt.Sprintf("experiment: failure index %d out of range", idx))
+		}
+		w := workers[idx]
+		engine.At(sim.Time(at), sim.PriorityState, "experiment.fail."+w.Name(), w.Fail)
+	}
+
+	modelOf := make(map[string]string, len(spec.Submissions))
+	for _, s := range spec.Submissions {
+		modelOf[s.Name] = s.Profile.Key()
+	}
+	manager := cluster.NewManager(engine, workers, spec.Placement)
+	if spec.CheckpointWork > 0 {
+		manager.EnableCheckpointing(spec.CheckpointWork)
+	}
+	manager.OnPlace(func(name string, w *cluster.Worker, c *simdocker.Container) {
+		collector.TrackJob(name, w.Name(), modelOf[name], c)
+	})
+
+	// Stop the engine the moment the last job completes; otherwise the
+	// periodic samplers and executor ticks self-schedule forever. Exits
+	// whose workload did not finish (failure kills) do not count.
+	submitted := len(spec.Submissions)
+	finished := 0
+	for _, w := range workers {
+		w.Daemon().OnExit(func(c *simdocker.Container) {
+			if !c.Workload().Done() {
+				return
+			}
+			finished++
+			if finished == submitted {
+				engine.Stop()
+			}
+		})
+	}
+
+	for _, s := range spec.Submissions {
+		manager.Submit(sim.Time(s.At), s.Name, s.Profile)
+	}
+
+	engine.Run(sim.Time(spec.Horizon))
+
+	res := &Result{
+		Name:      spec.Name,
+		Policy:    policies[0].Name(),
+		Jobs:      collector.Jobs(),
+		Makespan:  collector.Makespan(),
+		Completed: collector.AllFinished(),
+		Collector: collector,
+		Requeued:  manager.Requeued(),
+	}
+	for _, p := range policies {
+		if fc, ok := p.(*sched.FlowCon); ok && fc.Controller() != nil {
+			res.AlgorithmRuns += fc.Controller().Runs()
+			res.LimitUpdates += fc.Controller().LimitUpdates()
+		}
+	}
+	return res
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SeedStudy re-runs the FlowCon-vs-NA comparison on n-job random
+// workloads across many seeds and aggregates the outcome distribution —
+// the robustness check behind the calibrated single-seed figures (the
+// paper itself reports one arrival realization per experiment).
+func SeedStudy(jobs int, seeds []int64, alpha, itval float64) stats.StudyResult {
+	if len(seeds) == 0 {
+		panic("experiment: seed study needs at least one seed")
+	}
+	outcomes := make([]stats.SeedOutcome, 0, len(seeds))
+	for _, seed := range seeds {
+		subs := workload.RandomN(jobs, seed)
+		fc := Run(Spec{
+			Name:        fmt.Sprintf("seed-study-%d-fc", seed),
+			NewPolicy:   FlowConPolicy(alpha, itval),
+			Submissions: subs,
+		})
+		na := Run(Spec{
+			Name:        fmt.Sprintf("seed-study-%d-na", seed),
+			NewPolicy:   NAPolicy(itval),
+			Submissions: subs,
+		})
+		outcomes = append(outcomes, Outcome(seed, fc, na))
+	}
+	return stats.Aggregate(outcomes)
+}
+
+// Outcome reduces one FlowCon-vs-NA result pair to its seed outcome.
+func Outcome(seed int64, fc, na *Result) stats.SeedOutcome {
+	fcT, naT := fc.CompletionTimes(), na.CompletionTimes()
+	o := stats.SeedOutcome{Seed: seed, Jobs: len(fc.Jobs)}
+	first := true
+	for name, v := range fcT {
+		n, ok := naT[name]
+		if !ok {
+			continue
+		}
+		d := (n - v) / n
+		if d > 0 {
+			o.Wins++
+		}
+		if first || d > o.BestReduction {
+			o.BestReduction = d
+		}
+		if first || d < o.WorstReduction {
+			o.WorstReduction = d
+		}
+		first = false
+	}
+	o.MakespanGain = (na.Makespan - fc.Makespan) / na.Makespan
+	return o
+}
+
+// DefaultStudySeeds returns the first n positive seeds.
+func DefaultStudySeeds(n int) []int64 {
+	if n <= 0 {
+		panic("experiment: non-positive seed count")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// ReportSeedStudy renders a study's distribution summary.
+func ReportSeedStudy(w io.Writer, jobs int, res stats.StudyResult) {
+	fmt.Fprintf(w, "Seed study: FlowCon vs NA on %d-job random workloads, %d seeds\n",
+		jobs, len(res.Outcomes))
+	fmt.Fprintf(w, "  jobs improved:    %s\n", res.WinFraction)
+	fmt.Fprintf(w, "  best reduction:   %s\n", res.Best)
+	fmt.Fprintf(w, "  worst reduction:  %s\n", res.Worst)
+	fmt.Fprintf(w, "  makespan gain:    %s\n", res.MakespanGain)
+}

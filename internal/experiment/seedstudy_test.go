@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedStudyAggregates(t *testing.T) {
+	res := SeedStudy(10, DefaultStudySeeds(5), 0.10, 20)
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("%d outcomes", len(res.Outcomes))
+	}
+	// Robustness claims across seeds: FlowCon improves a clear majority
+	// of jobs on average and never loses makespan in the mean.
+	if res.WinFraction.Mean < 0.6 {
+		t.Fatalf("mean win fraction %.2f below 0.6 — FlowCon advantage not robust", res.WinFraction.Mean)
+	}
+	if res.MakespanGain.Mean <= 0 {
+		t.Fatalf("mean makespan gain %.4f not positive", res.MakespanGain.Mean)
+	}
+	if res.Best.Min < 0.1 {
+		t.Fatalf("weakest best-case reduction %.2f below 10%%", res.Best.Min)
+	}
+
+	var sb strings.Builder
+	ReportSeedStudy(&sb, 10, res)
+	out := sb.String()
+	for _, want := range []string{"Seed study", "jobs improved", "makespan gain"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeedStudyValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no seeds":  func() { SeedStudy(5, nil, 0.05, 20) },
+		"bad count": func() { DefaultStudySeeds(0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestOutcomeComputation(t *testing.T) {
+	subs := SeedStudy(5, []int64{7}, 0.05, 30)
+	o := subs.Outcomes[0]
+	if o.Seed != 7 || o.Jobs != 5 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if o.BestReduction < o.WorstReduction {
+		t.Fatalf("best %v < worst %v", o.BestReduction, o.WorstReduction)
+	}
+}

@@ -1,0 +1,315 @@
+// Package livedock is the wall-clock counterpart of simdocker: a
+// thread-safe, in-process container runtime whose workloads advance with
+// real time at rates set by the same proportional-share allocator.
+//
+// Where simdocker exists to make experiments exact and reproducible,
+// livedock exists to run FlowCon the way the paper deploys it — as live
+// middleware polling a daemon. It implements realtime.Runtime, so
+// realtime.Driver can manage it directly, and the cmd/flowcon-worker
+// agent serves it over HTTP for a Swarm-style manager/worker split.
+//
+// The clock is injectable: tests drive a fake clock deterministically,
+// production uses time.Now.
+package livedock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/flowcon"
+	"repro/internal/resource"
+)
+
+// State is a container lifecycle state.
+type State int
+
+const (
+	// Running containers consume resources.
+	Running State = iota
+	// Exited containers finished or were stopped.
+	Exited
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == Running {
+		return "running"
+	}
+	return "exited"
+}
+
+// Errors returned by node operations.
+var (
+	ErrNotFound   = errors.New("livedock: no such container")
+	ErrNotRunning = errors.New("livedock: container is not running")
+	ErrBadLimit   = errors.New("livedock: cpu limit must be in (0,1]")
+)
+
+// Workload is the same black-box contract simdocker uses; *dlmodel.Job
+// satisfies it.
+type Workload interface {
+	Advance(cpuSeconds float64)
+	CPUDemand() float64
+	Done() bool
+	Eval() float64
+}
+
+// Container is one live containerized job.
+type Container struct {
+	ID       string
+	Name     string
+	State    State
+	Limit    float64
+	Alloc    float64
+	CPUSec   float64
+	Started  time.Time
+	Finished time.Time
+
+	workload Workload
+}
+
+// Node is a live worker node. All methods are safe for concurrent use.
+type Node struct {
+	mu         sync.Mutex
+	capacity   float64
+	clock      func() time.Time
+	containers map[string]*Container
+	order      []string
+	seq        int
+	lastSettle time.Time
+	onExit     []func(id string)
+}
+
+// NewNode creates a node with the given normalized CPU capacity using the
+// system clock.
+func NewNode(capacity float64) *Node {
+	return NewNodeWithClock(capacity, time.Now)
+}
+
+// NewNodeWithClock creates a node with an injected clock (tests).
+func NewNodeWithClock(capacity float64, clock func() time.Time) *Node {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("livedock: capacity %g must be positive", capacity))
+	}
+	if clock == nil {
+		panic("livedock: nil clock")
+	}
+	return &Node{
+		capacity:   capacity,
+		clock:      clock,
+		containers: make(map[string]*Container),
+		lastSettle: clock(),
+	}
+}
+
+// OnExit subscribes to container-exit notifications. Callbacks run with
+// the node lock released.
+func (n *Node) OnExit(fn func(id string)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onExit = append(n.onExit, fn)
+}
+
+// Run starts a container for the workload and returns its id.
+func (n *Node) Run(name string, w Workload) (string, error) {
+	if w == nil {
+		return "", errors.New("livedock: nil workload")
+	}
+	n.mu.Lock()
+	exited := n.settleLocked()
+	n.seq++
+	id := fmt.Sprintf("live-c%04d", n.seq)
+	if name == "" {
+		name = id
+	}
+	c := &Container{
+		ID: id, Name: name, State: Running,
+		Limit: 1.0, Started: n.clock(), workload: w,
+	}
+	n.containers[id] = c
+	n.order = append(n.order, id)
+	n.reallocateLocked()
+	n.mu.Unlock()
+	n.notify(exited)
+	return id, nil
+}
+
+// SetCPULimit applies a soft limit — realtime.Runtime's update call.
+func (n *Node) SetCPULimit(id string, limit float64) error {
+	if limit <= 0 || limit > 1 {
+		return fmt.Errorf("%w: %g", ErrBadLimit, limit)
+	}
+	n.mu.Lock()
+	c, ok := n.containers[id]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.State != Running {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRunning, id)
+	}
+	exited := n.settleLocked()
+	c.Limit = limit
+	n.reallocateLocked()
+	n.mu.Unlock()
+	n.notify(exited)
+	return nil
+}
+
+// Stop terminates a running container.
+func (n *Node) Stop(id string) error {
+	n.mu.Lock()
+	c, ok := n.containers[id]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.State != Running {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotRunning, id)
+	}
+	exited := n.settleLocked()
+	n.exitLocked(c)
+	exited = append(exited, c.ID)
+	n.reallocateLocked()
+	n.mu.Unlock()
+	n.notify(exited)
+	return nil
+}
+
+// RunningStats implements realtime.Runtime: it settles accounting to the
+// current instant and returns per-container counters.
+func (n *Node) RunningStats() []flowcon.Stat {
+	n.mu.Lock()
+	exited := n.settleLocked()
+	out := make([]flowcon.Stat, 0, len(n.order))
+	for _, id := range n.order {
+		c := n.containers[id]
+		if c.State != Running {
+			continue
+		}
+		out = append(out, flowcon.Stat{
+			ID:         c.ID,
+			Eval:       c.workload.Eval(),
+			CPUSeconds: c.CPUSec,
+		})
+	}
+	n.mu.Unlock()
+	n.notify(exited)
+	return out
+}
+
+// Snapshot returns copies of all containers, running and exited.
+func (n *Node) Snapshot() []Container {
+	n.mu.Lock()
+	exited := n.settleLocked()
+	out := make([]Container, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, *n.containers[id])
+	}
+	n.mu.Unlock()
+	n.notify(exited)
+	return out
+}
+
+// Settle advances accounting to the current instant; completion detection
+// happens here, so callers (or a background ticker) should invoke it at
+// the resolution they need.
+func (n *Node) Settle() {
+	n.mu.Lock()
+	exited := n.settleLocked()
+	n.mu.Unlock()
+	n.notify(exited)
+}
+
+// RunningCount returns the number of running containers.
+func (n *Node) RunningCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, c := range n.containers {
+		if c.State == Running {
+			count++
+		}
+	}
+	return count
+}
+
+// settleLocked integrates work since the last settle at the current
+// allocations, retires finished workloads, and returns their ids. Callers
+// must hold the lock and pass the ids to notify after releasing it.
+func (n *Node) settleLocked() []string {
+	now := n.clock()
+	dt := now.Sub(n.lastSettle).Seconds()
+	n.lastSettle = now
+	if dt <= 0 {
+		return nil
+	}
+	var exited []string
+	for _, id := range n.order {
+		c := n.containers[id]
+		if c.State != Running || c.Alloc == 0 {
+			continue
+		}
+		work := c.Alloc * dt
+		c.workload.Advance(work)
+		c.CPUSec += work
+	}
+	for _, id := range n.order {
+		c := n.containers[id]
+		if c.State == Running && (c.workload.Done() || c.workload.CPUDemand() <= 0) {
+			n.exitLocked(c)
+			exited = append(exited, c.ID)
+		}
+	}
+	if len(exited) > 0 {
+		n.reallocateLocked()
+	}
+	return exited
+}
+
+// exitLocked marks a container exited.
+func (n *Node) exitLocked(c *Container) {
+	c.State = Exited
+	c.Alloc = 0
+	c.Finished = n.clock()
+}
+
+// reallocateLocked recomputes shares with the proportional-share
+// allocator.
+func (n *Node) reallocateLocked() {
+	claims := make([]resource.Claim, 0, len(n.order))
+	running := make([]*Container, 0, len(n.order))
+	for _, id := range n.order {
+		c := n.containers[id]
+		if c.State != Running {
+			continue
+		}
+		claims = append(claims, resource.Claim{ID: c.ID, Limit: c.Limit, Demand: c.workload.CPUDemand()})
+		running = append(running, c)
+	}
+	alloc := resource.AllocateMap(n.capacity, claims)
+	for _, c := range running {
+		c.Alloc = alloc[c.ID]
+	}
+}
+
+// notify fires exit callbacks outside the lock, in deterministic order.
+func (n *Node) notify(exited []string) {
+	if len(exited) == 0 {
+		return
+	}
+	sort.Strings(exited)
+	n.mu.Lock()
+	subs := append([]func(id string){}, n.onExit...)
+	n.mu.Unlock()
+	for _, id := range exited {
+		for _, fn := range subs {
+			fn(id)
+		}
+	}
+}

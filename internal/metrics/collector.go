@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flowcon"
+	"repro/internal/sim"
+	"repro/internal/simdocker"
+)
+
+// JobRecord is the lifecycle summary of one job.
+type JobRecord struct {
+	Name        string
+	ContainerID string
+	Worker      string
+	Model       string
+	StartedAt   float64
+	FinishedAt  float64
+	Finished    bool
+	// Restarts counts re-placements after worker failures.
+	Restarts int
+}
+
+// CompletionTime returns finish − start, the paper's "individual job
+// completion time" (its fixed-schedule discussion measures MNIST-TF from
+// its 80s launch).
+func (r JobRecord) CompletionTime() float64 {
+	return r.FinishedAt - r.StartedAt
+}
+
+// Collector accumulates everything an experiment reports. It subscribes to
+// worker daemons for job lifecycle and samples CPU usage at a fixed
+// period, and implements flowcon.Tracer to capture growth-efficiency and
+// limit traces.
+type Collector struct {
+	engine *sim.Engine
+	period float64
+
+	jobs  map[string]*JobRecord // by job name
+	byCID map[string]*JobRecord
+
+	cpu    map[string]*Series // usage (fraction of node) by job name
+	evals  map[string]*Series // raw evaluation-function values by job name
+	limits map[string]*Series // configured soft limit by job name
+	growth map[string]*Series // growth efficiency by job name
+	lists  map[string]*Series // list membership (0=NL,1=WL,2=CL) by job name
+
+	algoRuns int
+}
+
+// NewCollector creates a collector sampling CPU usage every period seconds.
+func NewCollector(engine *sim.Engine, period float64) *Collector {
+	if period <= 0 {
+		panic("metrics: non-positive sampling period")
+	}
+	return &Collector{
+		engine: engine,
+		period: period,
+		jobs:   make(map[string]*JobRecord),
+		byCID:  make(map[string]*JobRecord),
+		cpu:    make(map[string]*Series),
+		evals:  make(map[string]*Series),
+		limits: make(map[string]*Series),
+		growth: make(map[string]*Series),
+		lists:  make(map[string]*Series),
+	}
+}
+
+// TrackJob registers a placed job. Call from the manager's OnPlace hook.
+// Re-tracking an existing job name re-binds it to a new container — the
+// manager does this when a job is rescheduled after a worker failure; the
+// original start time is kept so CompletionTime covers the restart.
+func (c *Collector) TrackJob(name, worker, model string, cont *simdocker.Container) {
+	if r, ok := c.jobs[name]; ok {
+		if r.Finished {
+			panic(fmt.Sprintf("metrics: re-tracking finished job %q", name))
+		}
+		delete(c.byCID, r.ContainerID)
+		r.ContainerID = cont.ID()
+		r.Worker = worker
+		r.Restarts++
+		c.byCID[cont.ID()] = r
+		return
+	}
+	r := &JobRecord{
+		Name:        name,
+		ContainerID: cont.ID(),
+		Worker:      worker,
+		Model:       model,
+		StartedAt:   float64(cont.StartedAt()),
+	}
+	c.jobs[name] = r
+	c.byCID[cont.ID()] = r
+	c.cpu[name] = &Series{}
+	c.evals[name] = &Series{}
+	c.limits[name] = &Series{}
+	c.growth[name] = &Series{}
+	c.lists[name] = &Series{}
+}
+
+// JobExited records a job's completion. Call from the daemon's OnExit
+// hook. An exit whose workload did not finish (a worker failure or manual
+// stop) is not a completion — the job record stays open for re-binding.
+func (c *Collector) JobExited(cont *simdocker.Container) {
+	r, ok := c.byCID[cont.ID()]
+	if !ok {
+		return
+	}
+	if !cont.Workload().Done() {
+		return
+	}
+	r.FinishedAt = float64(cont.FinishedAt())
+	r.Finished = true
+}
+
+// AttachWorker subscribes the collector to a worker daemon's lifecycle and
+// starts the periodic CPU sampler against it.
+func (c *Collector) AttachWorker(name string, daemon *simdocker.Daemon) {
+	daemon.OnExit(c.JobExited)
+
+	// Per-worker differencing state lives in the sampler closure so
+	// multiple attached workers never interfere.
+	lastCPUSeconds := make(map[string]float64)
+	lastSampleAt := float64(c.engine.Now())
+	var sample func()
+	sample = func() {
+		now := float64(c.engine.Now())
+		daemon.Sync()
+		dt := now - lastSampleAt
+		for _, cont := range daemon.PS(true) {
+			r, ok := c.byCID[cont.ID()]
+			if !ok {
+				continue
+			}
+			s, err := daemon.Stats(cont.ID())
+			if err != nil {
+				continue
+			}
+			if dt > 0 {
+				usage := (s.CPUSeconds - lastCPUSeconds[cont.ID()]) / dt
+				c.cpu[r.Name].Append(now, usage)
+			}
+			lastCPUSeconds[cont.ID()] = s.CPUSeconds
+			if !r.Finished {
+				c.evals[r.Name].Append(now, s.Eval)
+			}
+		}
+		lastSampleAt = now
+		c.engine.After(c.period, sim.PriorityMetric, "metrics.sample", sample)
+	}
+	c.engine.After(c.period, sim.PriorityMetric, "metrics.sample", sample)
+}
+
+// RecordRun implements flowcon.Tracer: it stores growth efficiency, limit
+// and list membership per algorithm run.
+func (c *Collector) RecordRun(e flowcon.TraceEntry) {
+	c.algoRuns++
+	now := float64(e.At)
+	for _, tc := range e.Containers {
+		r, ok := c.byCID[tc.ID]
+		if !ok {
+			continue
+		}
+		if tc.GDefined {
+			c.growth[r.Name].Append(now, tc.G)
+		}
+		c.limits[r.Name].Append(now, tc.Limit)
+		c.lists[r.Name].Append(now, float64(tc.List))
+	}
+}
+
+// AlgorithmRuns returns how many Algorithm 1 trace entries were recorded.
+func (c *Collector) AlgorithmRuns() int { return c.algoRuns }
+
+// Jobs returns all tracked job records sorted by start time then name.
+func (c *Collector) Jobs() []JobRecord {
+	out := make([]JobRecord, 0, len(c.jobs))
+	for _, r := range c.jobs {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartedAt != out[j].StartedAt {
+			return out[i].StartedAt < out[j].StartedAt
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Job returns one tracked job record by name.
+func (c *Collector) Job(name string) (JobRecord, bool) {
+	r, ok := c.jobs[name]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return *r, true
+}
+
+// CPUSeries returns the sampled CPU-usage trace for a job.
+func (c *Collector) CPUSeries(name string) *Series { return c.cpu[name] }
+
+// EvalSeries returns the sampled evaluation-function trace for a job.
+func (c *Collector) EvalSeries(name string) *Series { return c.evals[name] }
+
+// LimitSeries returns the configured-limit trace for a job.
+func (c *Collector) LimitSeries(name string) *Series { return c.limits[name] }
+
+// GrowthSeries returns the growth-efficiency trace for a job.
+func (c *Collector) GrowthSeries(name string) *Series { return c.growth[name] }
+
+// ListSeries returns the list-membership trace for a job.
+func (c *Collector) ListSeries(name string) *Series { return c.lists[name] }
+
+// Makespan returns the total schedule length: latest finish over all jobs
+// (0 origin, as the paper measures from the first submission at 0s).
+func (c *Collector) Makespan() float64 {
+	end := 0.0
+	for _, r := range c.jobs {
+		if r.Finished && r.FinishedAt > end {
+			end = r.FinishedAt
+		}
+	}
+	return end
+}
+
+// AllFinished reports whether every tracked job completed.
+func (c *Collector) AllFinished() bool {
+	for _, r := range c.jobs {
+		if !r.Finished {
+			return false
+		}
+	}
+	return len(c.jobs) > 0
+}
+
+// Overlap returns the time span during which all the named jobs were
+// running simultaneously (the quantity the paper analyses in Section 5.3).
+func (c *Collector) Overlap(names ...string) float64 {
+	start := 0.0
+	end := 0.0
+	for i, n := range names {
+		r, ok := c.jobs[n]
+		if !ok || !r.Finished {
+			return 0
+		}
+		if i == 0 || r.StartedAt > start {
+			start = r.StartedAt
+		}
+		if i == 0 || r.FinishedAt < end {
+			end = r.FinishedAt
+		}
+	}
+	if end <= start {
+		return 0
+	}
+	return end - start
+}

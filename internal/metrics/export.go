@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Archive is the serializable form of a collector's contents: job records
+// plus every recorded series, keyed by job name. It lets experiment
+// outputs be persisted, diffed across runs, and re-plotted without
+// re-simulating.
+type Archive struct {
+	// Jobs are the lifecycle records, sorted by start time then name.
+	Jobs []JobRecord `json:"jobs"`
+	// Makespan is the total schedule length.
+	Makespan float64 `json:"makespan"`
+	// Series maps series kind ("cpu", "eval", "limit", "growth", "list")
+	// to job name to observations.
+	Series map[string]map[string][]Point `json:"series"`
+}
+
+// Export assembles an Archive from the collector's current state.
+func (c *Collector) Export() Archive {
+	a := Archive{
+		Jobs:     c.Jobs(),
+		Makespan: c.Makespan(),
+		Series:   make(map[string]map[string][]Point, 5),
+	}
+	kinds := map[string]map[string]*Series{
+		"cpu":    c.cpu,
+		"eval":   c.evals,
+		"limit":  c.limits,
+		"growth": c.growth,
+		"list":   c.lists,
+	}
+	for kind, m := range kinds {
+		out := make(map[string][]Point, len(m))
+		for name, s := range m {
+			if s.Len() == 0 {
+				continue
+			}
+			pts := make([]Point, s.Len())
+			copy(pts, s.Points())
+			out[name] = pts
+		}
+		a.Series[kind] = out
+	}
+	return a
+}
+
+// WriteJSON writes the archive as indented JSON.
+func (a Archive) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadArchive parses an archive written by WriteJSON and validates its
+// internal consistency (non-decreasing series timestamps, jobs present
+// for every series).
+func ReadArchive(r io.Reader) (Archive, error) {
+	var a Archive
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return Archive{}, fmt.Errorf("metrics: decoding archive: %w", err)
+	}
+	names := make(map[string]bool, len(a.Jobs))
+	for _, j := range a.Jobs {
+		names[j.Name] = true
+	}
+	for kind, m := range a.Series {
+		for name, pts := range m {
+			if !names[name] {
+				return Archive{}, fmt.Errorf("metrics: series %s/%s has no job record", kind, name)
+			}
+			for i := 1; i < len(pts); i++ {
+				if pts[i].T < pts[i-1].T {
+					return Archive{}, fmt.Errorf("metrics: series %s/%s time went backwards at %d", kind, name, i)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// SeriesOf rebuilds a Series from archived points (for re-plotting).
+func (a Archive) SeriesOf(kind, job string) *Series {
+	s := &Series{}
+	for _, p := range a.Series[kind][job] {
+		s.Append(p.T, p.V)
+	}
+	return s
+}
+
+// JobNames lists the archived job names in record order.
+func (a Archive) JobNames() []string {
+	out := make([]string, len(a.Jobs))
+	for i, j := range a.Jobs {
+		out[i] = j.Name
+	}
+	return out
+}
+
+// Diff compares two archives' completion times and returns per-job deltas
+// (other − a), sorted by job name — the primitive behind regression
+// tracking of experiment outputs.
+func (a Archive) Diff(other Archive) []CompletionDelta {
+	byName := make(map[string]JobRecord, len(other.Jobs))
+	for _, j := range other.Jobs {
+		byName[j.Name] = j
+	}
+	var out []CompletionDelta
+	for _, j := range a.Jobs {
+		o, ok := byName[j.Name]
+		if !ok || !j.Finished || !o.Finished {
+			continue
+		}
+		out = append(out, CompletionDelta{
+			Name:  j.Name,
+			A:     j.CompletionTime(),
+			B:     o.CompletionTime(),
+			Delta: o.CompletionTime() - j.CompletionTime(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CompletionDelta is one job's completion-time difference across archives.
+type CompletionDelta struct {
+	Name  string  `json:"name"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"`
+}

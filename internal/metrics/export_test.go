@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dlmodel"
+	"repro/internal/sim"
+	"repro/internal/simdocker"
+)
+
+// buildCollector runs a tiny two-job simulation and returns its collector.
+func buildCollector(t *testing.T) *Collector {
+	t.Helper()
+	e := sim.NewEngine()
+	d := simdocker.NewDaemon(e, 1.0)
+	d.Pull(simdocker.Image{Ref: "img:1"})
+	col := NewCollector(e, 1.0)
+	col.AttachWorker("w0", d)
+	for i, p := range []dlmodel.Profile{dlmodel.MNISTTensorFlow(), dlmodel.GRU()} {
+		name := []string{"A", "B"}[i]
+		j := dlmodel.NewJob(name, p)
+		c, err := d.Run(simdocker.RunSpec{Image: "img:1", Name: name, Workload: j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col.TrackJob(name, "w0", p.Key(), c)
+	}
+	d.OnExit(func(*simdocker.Container) {
+		if col.AllFinished() {
+			e.Stop()
+		}
+	})
+	e.Run(10000)
+	if !col.AllFinished() {
+		t.Fatal("setup jobs did not finish")
+	}
+	return col
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	col := buildCollector(t)
+	a := col.Export()
+	if len(a.Jobs) != 2 || a.Makespan <= 0 {
+		t.Fatalf("archive %+v", a)
+	}
+	if len(a.Series["cpu"]["A"]) == 0 {
+		t.Fatal("cpu series missing from archive")
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != a.Makespan || len(back.Jobs) != len(a.Jobs) {
+		t.Fatalf("round trip changed archive: %+v vs %+v", back, a)
+	}
+	// Series rebuild preserves values.
+	orig := col.CPUSeries("A")
+	rebuilt := back.SeriesOf("cpu", "A")
+	if rebuilt.Len() != orig.Len() {
+		t.Fatalf("series length changed: %d vs %d", rebuilt.Len(), orig.Len())
+	}
+	for i, p := range orig.Points() {
+		if rebuilt.Points()[i] != p {
+			t.Fatalf("point %d changed", i)
+		}
+	}
+	names := back.JobNames()
+	if len(names) != 2 || names[0] != "A" {
+		t.Fatalf("JobNames = %v", names)
+	}
+}
+
+func TestReadArchiveRejectsCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"orphan series":  `{"jobs":[],"series":{"cpu":{"ghost":[{"T":0,"V":1}]}}}`,
+		"backward times": `{"jobs":[{"Name":"A"}],"series":{"cpu":{"A":[{"T":5,"V":1},{"T":1,"V":2}]}}}`,
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadArchive(strings.NewReader(raw)); err == nil {
+				t.Fatal("corrupt archive accepted")
+			}
+		})
+	}
+}
+
+func TestArchiveDiff(t *testing.T) {
+	col := buildCollector(t)
+	a := col.Export()
+	b := col.Export()
+	// Perturb B's completion.
+	b.Jobs[0].FinishedAt += 10
+	deltas := a.Diff(b)
+	if len(deltas) != 2 {
+		t.Fatalf("diff has %d rows", len(deltas))
+	}
+	var moved, still int
+	for _, d := range deltas {
+		switch d.Delta {
+		case 0:
+			still++
+		case 10:
+			moved++
+		}
+	}
+	if moved != 1 || still != 1 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestArchiveDiffSkipsUnfinished(t *testing.T) {
+	a := Archive{Jobs: []JobRecord{{Name: "x", Finished: false}}}
+	b := Archive{Jobs: []JobRecord{{Name: "x", Finished: true}}}
+	if got := a.Diff(b); len(got) != 0 {
+		t.Fatalf("diff of unfinished jobs = %v", got)
+	}
+}

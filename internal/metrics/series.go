@@ -1,0 +1,108 @@
+// Package metrics collects and summarizes experiment observables: per-job
+// completion times, overall makespan, per-container CPU-usage traces
+// (Figures 7, 8, 10, 11, 15, 16), and growth-efficiency traces (Figures 13
+// and 14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one (time, value) observation.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series with non-decreasing timestamps.
+type Series struct {
+	points []Point
+}
+
+// Append adds an observation; timestamps must be non-decreasing.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.points); n > 0 && t < s.points[n-1].T {
+		panic(fmt.Sprintf("metrics: series timestamp %g before %g", t, s.points[n-1].T))
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the underlying observations (not a copy; callers must not
+// mutate).
+func (s *Series) Points() []Point { return s.points }
+
+// At returns the value in effect at time t under step ("sample and hold")
+// interpolation, or 0 before the first observation.
+func (s *Series) At(t float64) float64 {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.points[i-1].V
+}
+
+// Max returns the largest value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, p := range s.points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the time-weighted mean value over the observed span using
+// step interpolation (0 for fewer than 2 points).
+func (s *Series) Mean() float64 {
+	if len(s.points) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(s.points); i++ {
+		area += s.points[i-1].V * (s.points[i].T - s.points[i-1].T)
+	}
+	span := s.points[len(s.points)-1].T - s.points[0].T
+	if span <= 0 {
+		return 0
+	}
+	return area / span
+}
+
+// Integrate returns the step-interpolated integral over [t0, t1].
+func (s *Series) Integrate(t0, t1 float64) float64 {
+	if t1 <= t0 || len(s.points) == 0 {
+		return 0
+	}
+	area := 0.0
+	for i, p := range s.points {
+		segStart := math.Max(p.T, t0)
+		segEnd := t1
+		if i+1 < len(s.points) {
+			segEnd = math.Min(s.points[i+1].T, t1)
+		}
+		if segEnd > segStart {
+			area += p.V * (segEnd - segStart)
+		}
+	}
+	return area
+}
+
+// Resample returns the series sampled at a fixed period over [t0, t1]
+// (inclusive of both ends), using step interpolation — convenient for
+// plotting and CSV export.
+func (s *Series) Resample(t0, t1, period float64) []Point {
+	if period <= 0 {
+		panic("metrics: non-positive resample period")
+	}
+	var out []Point
+	for t := t0; t <= t1+1e-9; t += period {
+		out = append(out, Point{T: t, V: s.At(t)})
+	}
+	return out
+}

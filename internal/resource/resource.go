@@ -1,0 +1,105 @@
+// Package resource models the four resource dimensions FlowCon accounts for
+// (CPU, memory, block I/O, network I/O) and implements the work-conserving
+// soft-limit allocator that reproduces Docker's runtime behaviour under
+// `docker update`.
+//
+// The paper (Section 4.1) relies on two properties of Docker's resource
+// controls:
+//
+//  1. limits can be re-set at any time on a running container, and
+//  2. limits are *soft*: "even if the container cannot maximize its own
+//     resource, the unused option will be utilized by others".
+//
+// Allocate implements exactly those semantics for a single contended
+// resource via progressive filling, and is the substrate on which both the
+// NA baseline (no limits: plain fair sharing clipped by demand) and FlowCon
+// (per-container soft limits from Algorithm 1) run.
+package resource
+
+import "fmt"
+
+// Kind identifies one of the resource dimensions a container consumes.
+type Kind int
+
+const (
+	// CPU is normalized compute: 1.0 is the full node, matching the
+	// normalized CPU-usage axes of the paper's Figures 7-16.
+	CPU Kind = iota
+	// Memory is resident set size in bytes.
+	Memory
+	// BlkIO is block I/O bandwidth in bytes/second.
+	BlkIO
+	// NetIO is network I/O bandwidth in bytes/second.
+	NetIO
+
+	// NumKinds is the number of resource dimensions.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"cpu", "memory", "blkio", "netio"}
+
+// String returns the lowercase name of the kind ("cpu", "memory", ...).
+func (k Kind) String() string {
+	if k < 0 || k >= NumKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds lists all resource dimensions in declaration order.
+func Kinds() []Kind { return []Kind{CPU, Memory, BlkIO, NetIO} }
+
+// Vector holds one value per resource kind. The meaning of each entry
+// depends on context (usage, demand, capacity).
+type Vector [NumKinds]float64
+
+// Get returns the value for kind k.
+func (v Vector) Get(k Kind) float64 { return v[k] }
+
+// Set returns a copy of v with kind k set to x.
+func (v Vector) Set(k Kind, x float64) Vector {
+	v[k] = x
+	return v
+}
+
+// Add returns the element-wise sum v + w.
+func (v Vector) Add(w Vector) Vector {
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Sub returns the element-wise difference v - w.
+func (v Vector) Sub(w Vector) Vector {
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return v
+}
+
+// Scale returns v with every element multiplied by s.
+func (v Vector) Scale(s float64) Vector {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// FitsIn reports whether every element of v is <= the matching element of
+// capacity (within eps to absorb float error).
+func (v Vector) FitsIn(capacity Vector) bool {
+	const eps = 1e-9
+	for i := range v {
+		if v[i] > capacity[i]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as "cpu=…, memory=…, blkio=…, netio=…".
+func (v Vector) String() string {
+	return fmt.Sprintf("cpu=%.4g memory=%.4g blkio=%.4g netio=%.4g",
+		v[CPU], v[Memory], v[BlkIO], v[NetIO])
+}

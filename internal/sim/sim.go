@@ -1,0 +1,221 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock measured in seconds (float64) and a
+// priority queue of timed events. Components schedule callbacks with At or
+// After; Run drains the queue in (time, priority, sequence) order, advancing
+// the clock to each event's timestamp. Because all state transitions happen
+// inside event callbacks on a single goroutine, simulations are exactly
+// reproducible: the same inputs always yield the same trace.
+//
+// The FlowCon reproduction uses sim as the substrate for everything that the
+// paper measured in wall-clock seconds on a physical CloudLab node: job
+// arrivals, executor intervals, listener interrupts, and training completion
+// times.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Infinity is a sentinel time later than any event the engine will ever
+// execute.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Priority orders events that share a timestamp. Lower values run first.
+// The bands below keep the causal order the paper's system implies: state
+// changes (arrivals/completions) are observed by listeners before the
+// executor re-plans, and metric collection sees the post-update state.
+type Priority int
+
+const (
+	// PriorityState is for events that mutate the world: job arrival,
+	// container completion, resource release.
+	PriorityState Priority = iota
+	// PriorityListener is for Algorithm 2 listener reactions.
+	PriorityListener
+	// PriorityExecutor is for Algorithm 1 executor ticks.
+	PriorityExecutor
+	// PriorityMetric is for observation-only callbacks.
+	PriorityMetric
+)
+
+// Event is a scheduled callback. Events are created via Engine.At/After and
+// may be canceled before they fire.
+type Event struct {
+	at       Time
+	prio     Priority
+	seq      uint64
+	name     string
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// At returns the virtual time at which the event is scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event's callback from running. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventQueue implements heap.Interface ordered by (at, prio, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	// executed counts events whose callbacks ran, for diagnostics.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at time zero and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of scheduled (not yet fired, possibly canceled)
+// events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Executed returns how many event callbacks have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn to run at absolute virtual time t with the given priority.
+// Scheduling in the past panics: with a deterministic single-threaded engine
+// that is always a programming error, and silently clamping would corrupt
+// causality.
+func (e *Engine) At(t Time, prio Priority, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %.6f before now %.6f", name, float64(t), float64(e.now)))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := &Event{at: t, prio: prio, seq: e.seq, name: name, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Duration, prio Priority, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %.6f for %q", d, name))
+	}
+	return e.At(e.now+Time(d), prio, name, fn)
+}
+
+// Stop makes Run return after the currently executing event (if any)
+// finishes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, the horizon is
+// passed, or Stop is called. Events scheduled exactly at the horizon still
+// run. It returns the number of events executed by this call.
+func (e *Engine) Run(horizon Time) int {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	n := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		if next.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: event %q at %.6f, now %.6f", next.name, float64(next.at), float64(e.now)))
+		}
+		e.now = next.at
+		next.fn()
+		e.executed++
+		n++
+	}
+	// If we stopped because of the horizon, advance the clock to it so a
+	// subsequent Run continues from there.
+	if !e.stopped && horizon != Infinity && e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() int { return e.Run(Infinity) }
+
+// Peek returns the time of the earliest pending non-canceled event and true,
+// or (0, false) if none is queued. It is O(n) in the number of canceled
+// events at the head but O(1) in the common case.
+func (e *Engine) Peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if !e.queue[0].canceled {
+			return e.queue[0].at, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	times := []Time{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		e.At(at, PriorityState, "t", func() { got = append(got, at) })
+	}
+	if n := e.RunAll(); n != len(times) {
+		t.Fatalf("executed %d events, want %d", n, len(times))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", e.Now())
+	}
+}
+
+func TestEnginePriorityTiebreak(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(10, PriorityMetric, "metric", func() { got = append(got, "metric") })
+	e.At(10, PriorityState, "state", func() { got = append(got, "state") })
+	e.At(10, PriorityExecutor, "exec", func() { got = append(got, "exec") })
+	e.At(10, PriorityListener, "listen", func() { got = append(got, "listen") })
+	e.RunAll()
+	want := []string{"state", "listen", "exec", "metric"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSeqTiebreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, PriorityState, "s", func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time same-priority events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(3, PriorityState, "outer", func() {
+		e.After(2, PriorityState, "inner", func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 5 {
+		t.Fatalf("inner ran at %v, want 5", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(1, PriorityState, "x", func() { ran = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	e.RunAll()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestEngineCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	later := e.At(5, PriorityState, "later", func() { ran = true })
+	e.At(1, PriorityState, "earlier", func() { later.Cancel() })
+	e.RunAll()
+	if ran {
+		t.Fatal("event canceled mid-run still ran")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.At(at, PriorityState, "t", func() { got = append(got, at) })
+	}
+	n := e.Run(2)
+	if n != 2 {
+		t.Fatalf("executed %d, want 2", n)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v, want 2", e.Now())
+	}
+	// Remaining events still run on a later call.
+	n = e.RunAll()
+	if n != 2 || e.Now() != 4 {
+		t.Fatalf("second run executed %d ended at %v, want 2 at 4", n, e.Now())
+	}
+}
+
+func TestEngineHorizonAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, PriorityState, "a", func() { count++; e.Stop() })
+	e.At(2, PriorityState, "b", func() { count++ })
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+	// Resume.
+	e.RunAll()
+	if count != 2 {
+		t.Fatalf("count after resume = %d, want 2", count)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, PriorityState, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, PriorityState, "past", func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, PriorityState, "neg", func() {})
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	e.At(1, PriorityState, "nil", nil)
+}
+
+func TestEnginePeek(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.Peek(); ok {
+		t.Fatal("Peek on empty queue reported an event")
+	}
+	ev := e.At(7, PriorityState, "a", func() {})
+	e.At(9, PriorityState, "b", func() {})
+	if at, ok := e.Peek(); !ok || at != 7 {
+		t.Fatalf("Peek = (%v,%v), want (7,true)", at, ok)
+	}
+	ev.Cancel()
+	if at, ok := e.Peek(); !ok || at != 9 {
+		t.Fatalf("Peek after cancel = (%v,%v), want (9,true)", at, ok)
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	// An event chain built during execution must still run in order.
+	e := NewEngine()
+	var got []Time
+	var chain func()
+	chain = func() {
+		got = append(got, e.Now())
+		if e.Now() < 5 {
+			e.After(1, PriorityState, "chain", chain)
+		}
+	}
+	e.At(1, PriorityState, "chain", chain)
+	e.RunAll()
+	want := []Time{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEngineOrderProperty checks, for random event sets, that execution
+// order always equals the sort order by (time, priority, insertion).
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		e := NewEngine()
+		type rec struct {
+			at   Time
+			prio Priority
+			seq  int
+		}
+		var want []rec
+		var got []rec
+		for i := 0; i < count; i++ {
+			r := rec{Time(rng.Intn(10)), Priority(rng.Intn(4)), i}
+			want = append(want, r)
+			e.At(r.at, r.prio, "p", func() { got = append(got, r) })
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].prio < want[j].prio
+		})
+		e.RunAll()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), PriorityState, "x", func() {})
+	}
+	e.RunAll()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}

@@ -1,0 +1,169 @@
+// Package simdocker is an in-process, discrete-event reproduction of the
+// Docker Engine surface FlowCon relies on.
+//
+// The paper implements FlowCon as middleware above Docker CE 18.09 and uses
+// exactly four daemon capabilities: `docker run` (start a containerized DL
+// job), `docker update` (re-set soft resource limits on a running
+// container), container stats (per-container CPU accounting), and exit
+// detection ("the container is marked as exited"). This package provides
+// those capabilities over the deterministic sim engine:
+//
+//   - a Daemon owns a node's CPU capacity and a container pool;
+//   - containers run Workloads (the synthetic DL jobs of internal/dlmodel)
+//     and accrue CPU work according to the work-conserving soft-limit
+//     allocator in internal/resource;
+//   - completion times are computed analytically (no timestep error) and
+//     delivered as simulation events;
+//   - subscribers receive start/exit notifications, which is what the
+//     paper's New Cons / Finished Cons listeners consume.
+package simdocker
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Containers move through the same lifecycle states Docker reports.
+type State int
+
+const (
+	// Created: the container exists but has not started running.
+	Created State = iota
+	// Running: the workload is executing and consuming resources.
+	Running
+	// Exited: the workload finished or the container was stopped.
+	Exited
+)
+
+// String implements fmt.Stringer with Docker's lowercase state names.
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Running:
+		return "running"
+	case Exited:
+		return "exited"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Errors returned by daemon operations.
+var (
+	// ErrNotFound means no container with the given id exists.
+	ErrNotFound = errors.New("simdocker: no such container")
+	// ErrNotRunning means the operation needs a running container.
+	ErrNotRunning = errors.New("simdocker: container is not running")
+	// ErrNameInUse means a container with that name already exists.
+	ErrNameInUse = errors.New("simdocker: container name already in use")
+	// ErrNoImage means the referenced image has not been pulled.
+	ErrNoImage = errors.New("simdocker: no such image")
+	// ErrBadLimit means an update specified a limit outside (0, 1].
+	ErrBadLimit = errors.New("simdocker: cpu limit must be in (0,1]")
+)
+
+// Workload is the black-box process a container runs. FlowCon's contract
+// with a DL job is exactly this: it can be driven by CPU time, reports an
+// evaluation function value, and eventually finishes. *dlmodel.Job
+// satisfies it.
+type Workload interface {
+	// Advance delivers cpuSeconds of CPU work to the workload.
+	Advance(cpuSeconds float64)
+	// CPUDemand returns the CPU fraction the workload can use right now.
+	CPUDemand() float64
+	// Done reports whether the workload has finished.
+	Done() bool
+	// Eval returns the current evaluation-function value (loss/accuracy).
+	Eval() float64
+}
+
+// ResourceProfiler is optionally implemented by workloads that model
+// memory/IO footprints; the daemon uses it to populate Stats for the
+// non-CPU dimensions the paper's container monitor records.
+type ResourceProfiler interface {
+	MemoryBytes() float64
+	BlkIOPerWork() float64
+	NetIOPerWork() float64
+}
+
+// Container is one containerized job in the daemon's pool. All fields are
+// managed by the daemon; read access is provided through methods so the
+// accounting invariants cannot be broken from outside.
+type Container struct {
+	id    string
+	name  string
+	image string
+	state State
+
+	createdAt  sim.Time
+	startedAt  sim.Time
+	finishedAt sim.Time
+
+	workload Workload
+
+	// cpuLimit is the soft limit in (0,1] set at run time or by Update.
+	cpuLimit float64
+	// alloc is the CPU share currently granted by the allocator.
+	alloc float64
+	// cpuSeconds is cumulative CPU time consumed.
+	cpuSeconds float64
+	// blkioBytes / netioBytes are cumulative I/O, derived from work.
+	blkioBytes float64
+	netioBytes float64
+}
+
+// ID returns the container id (cid in the paper's notation).
+func (c *Container) ID() string { return c.id }
+
+// Name returns the user-supplied container name.
+func (c *Container) Name() string { return c.name }
+
+// Image returns the image reference the container was created from.
+func (c *Container) Image() string { return c.image }
+
+// State returns the lifecycle state.
+func (c *Container) State() State { return c.state }
+
+// CreatedAt returns when the container was created.
+func (c *Container) CreatedAt() sim.Time { return c.createdAt }
+
+// StartedAt returns when the container started running.
+func (c *Container) StartedAt() sim.Time { return c.startedAt }
+
+// FinishedAt returns when the container exited (zero if still running).
+func (c *Container) FinishedAt() sim.Time { return c.finishedAt }
+
+// CPULimit returns the current soft CPU limit in (0,1].
+func (c *Container) CPULimit() float64 { return c.cpuLimit }
+
+// CPUAlloc returns the CPU share currently granted by the allocator.
+func (c *Container) CPUAlloc() float64 { return c.alloc }
+
+// Workload exposes the contained workload (the monitor samples Eval
+// through it).
+func (c *Container) Workload() Workload { return c.workload }
+
+// Stats is a point-in-time snapshot of one container's resource
+// consumption — the simulated equivalent of `docker stats`.
+type Stats struct {
+	ID    string
+	Name  string
+	State State
+	// CPUAlloc is the instantaneous CPU share (normalized, 1 = node).
+	CPUAlloc float64
+	// CPULimit is the configured soft limit.
+	CPULimit float64
+	// CPUSeconds is cumulative CPU time consumed.
+	CPUSeconds float64
+	// MemoryBytes is the resident footprint (0 unless the workload
+	// implements ResourceProfiler).
+	MemoryBytes float64
+	// BlkIOBytes and NetIOBytes are cumulative I/O counters.
+	BlkIOBytes float64
+	NetIOBytes float64
+	// Eval is the workload's current evaluation-function value.
+	Eval float64
+}

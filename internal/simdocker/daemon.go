@@ -1,0 +1,498 @@
+package simdocker
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// Image is a pulled container image in the daemon's local store.
+type Image struct {
+	// Ref is the full reference, e.g. "pytorch/pytorch:1.0".
+	Ref string
+	// SizeBytes is the image size (bookkeeping only).
+	SizeBytes int64
+}
+
+// RunSpec describes a `docker run`: which image, an optional name, the
+// workload process, and an initial soft CPU limit (1.0 — unlimited — if
+// zero, matching `docker run` without --cpus).
+type RunSpec struct {
+	Image    string
+	Name     string
+	Workload Workload
+	CPULimit float64
+}
+
+// completionEps treats remaining work below this as finished, absorbing
+// float rounding in the analytic completion-time computation.
+const completionEps = 1e-9
+
+// Daemon is a simulated Docker engine bound to one node and one sim engine.
+// All methods must be called from the simulation goroutine (event
+// callbacks or before Run); the daemon is deliberately not thread-safe
+// because determinism is the point.
+type Daemon struct {
+	engine   *sim.Engine
+	capacity float64
+
+	images     map[string]Image
+	containers map[string]*Container
+	order      []string // creation order, for stable iteration
+	seq        int
+	// idPrefix distinguishes container ids across daemons — real Docker
+	// ids are globally unique hashes; here "worker-1.c0003" keeps the
+	// same property deterministically.
+	idPrefix string
+
+	onStart []func(*Container)
+	onExit  []func(*Container)
+
+	// lastAdvance is the time up to which container accounting is settled.
+	lastAdvance sim.Time
+	// completion is the pending earliest-completion event, if any.
+	completion *sim.Event
+
+	// contention is the per-extra-container efficiency overhead h: with n
+	// running containers, each delivers useful work at alloc/(1+h·(n−1)).
+	// It models the context-switch and cache-pressure cost of co-located
+	// training that the paper's physical testbed exhibits — the mechanism
+	// behind FlowCon's 1-5% makespan gains ("reducing the overlap between
+	// jobs"). Zero (the default) gives an ideal loss-free node.
+	contention float64
+
+	// memCapacity is the node's physical memory in bytes (the paper's
+	// R320 has 16 GB). Zero disables memory modelling. When the resident
+	// sets of running containers overcommit it, every container pays a
+	// thrashing penalty on useful work (see thrashFactor).
+	memCapacity float64
+}
+
+// thrashFactor scales the efficiency penalty of memory overcommit:
+// efficiency is divided by (1 + thrashFactor · overcommit), where
+// overcommit = used/capacity − 1. Swapping is brutal — 4 means a 25%
+// overcommit halves throughput.
+const thrashFactor = 4.0
+
+// NewDaemon creates a daemon managing `capacity` normalized CPUs on the
+// given engine. The paper's plots normalize the testbed node to 1.0.
+func NewDaemon(engine *sim.Engine, capacity float64) *Daemon {
+	if engine == nil {
+		panic("simdocker: nil engine")
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simdocker: capacity %g must be positive", capacity))
+	}
+	return &Daemon{
+		engine:     engine,
+		capacity:   capacity,
+		images:     make(map[string]Image),
+		containers: make(map[string]*Container),
+	}
+}
+
+// Capacity returns the node's CPU capacity.
+func (d *Daemon) Capacity() float64 { return d.capacity }
+
+// SetIDPrefix namespaces this daemon's container ids (e.g. the hosting
+// worker's name), keeping ids unique across a multi-worker cluster. Must
+// be called before any container runs.
+func (d *Daemon) SetIDPrefix(prefix string) {
+	if len(d.containers) > 0 {
+		panic("simdocker: SetIDPrefix after containers started")
+	}
+	d.idPrefix = prefix
+}
+
+// SetContentionOverhead sets the per-extra-container efficiency overhead
+// (see the contention field). Must be called before any container runs.
+func (d *Daemon) SetContentionOverhead(h float64) {
+	if h < 0 {
+		panic(fmt.Sprintf("simdocker: negative contention overhead %g", h))
+	}
+	if len(d.containers) > 0 {
+		panic("simdocker: SetContentionOverhead after containers started")
+	}
+	d.contention = h
+}
+
+// ContentionOverhead returns the configured overhead factor.
+func (d *Daemon) ContentionOverhead() float64 { return d.contention }
+
+// SetMemoryCapacity sets the node's physical memory in bytes (0 disables
+// memory modelling). Must be called before any container runs.
+func (d *Daemon) SetMemoryCapacity(bytes float64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simdocker: negative memory capacity %g", bytes))
+	}
+	if len(d.containers) > 0 {
+		panic("simdocker: SetMemoryCapacity after containers started")
+	}
+	d.memCapacity = bytes
+}
+
+// MemoryCapacity returns the configured node memory (0 = unmodelled).
+func (d *Daemon) MemoryCapacity() float64 { return d.memCapacity }
+
+// MemoryUsed returns the summed resident footprint of running containers
+// whose workloads report one.
+func (d *Daemon) MemoryUsed() float64 {
+	used := 0.0
+	for _, c := range d.containers {
+		if c.state != Running {
+			continue
+		}
+		if rp, ok := c.workload.(ResourceProfiler); ok {
+			used += rp.MemoryBytes()
+		}
+	}
+	return used
+}
+
+// efficiency returns the work-delivery efficiency with n running
+// containers: contention cost 1/(1+h·(n−1)) times the thrashing penalty
+// when resident memory overcommits the node.
+func (d *Daemon) efficiency(n int) float64 {
+	eff := 1.0
+	if n > 1 {
+		eff = 1 / (1 + d.contention*float64(n-1))
+	}
+	if d.memCapacity > 0 {
+		if used := d.MemoryUsed(); used > d.memCapacity {
+			over := used/d.memCapacity - 1
+			eff /= 1 + thrashFactor*over
+		}
+	}
+	return eff
+}
+
+// Pull registers an image in the local store (the offline equivalent of
+// `docker pull`).
+func (d *Daemon) Pull(img Image) {
+	if img.Ref == "" {
+		panic("simdocker: image with empty ref")
+	}
+	d.images[img.Ref] = img
+}
+
+// Images lists pulled images sorted by reference.
+func (d *Daemon) Images() []Image {
+	out := make([]Image, 0, len(d.images))
+	for _, img := range d.images {
+		out = append(out, img)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref < out[j].Ref })
+	return out
+}
+
+// OnStart registers a callback invoked whenever a container starts. This
+// feeds the paper's "New Cons" listener.
+func (d *Daemon) OnStart(fn func(*Container)) { d.onStart = append(d.onStart, fn) }
+
+// OnExit registers a callback invoked whenever a container exits. This
+// feeds the paper's "Finished Cons" listener.
+func (d *Daemon) OnExit(fn func(*Container)) { d.onExit = append(d.onExit, fn) }
+
+// Run creates and starts a container (the `docker run -d <image>` path).
+func (d *Daemon) Run(spec RunSpec) (*Container, error) {
+	if _, ok := d.images[spec.Image]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoImage, spec.Image)
+	}
+	if spec.Workload == nil {
+		return nil, fmt.Errorf("simdocker: run %s: nil workload", spec.Image)
+	}
+	limit := spec.CPULimit
+	if limit == 0 {
+		limit = 1.0
+	}
+	if limit < 0 || limit > 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadLimit, limit)
+	}
+	d.seq++
+	id := fmt.Sprintf("c%04d", d.seq)
+	if d.idPrefix != "" {
+		id = d.idPrefix + "." + id
+	}
+	name := spec.Name
+	if name == "" {
+		name = id
+	}
+	for _, c := range d.containers {
+		if c.name == name {
+			return nil, fmt.Errorf("%w: %s", ErrNameInUse, name)
+		}
+	}
+
+	d.settle()
+	c := &Container{
+		id:        id,
+		name:      name,
+		image:     spec.Image,
+		state:     Running,
+		createdAt: d.engine.Now(),
+		startedAt: d.engine.Now(),
+		workload:  spec.Workload,
+		cpuLimit:  limit,
+	}
+	d.containers[id] = c
+	d.order = append(d.order, id)
+	for _, fn := range d.onStart {
+		fn(c)
+	}
+	d.reallocate()
+	return c, nil
+}
+
+// Update re-sets a running container's soft CPU limit — the simulated
+// `docker update --cpus`. Takes effect immediately; already-accrued work
+// is settled at the old rate first.
+func (d *Daemon) Update(id string, cpuLimit float64) error {
+	c, ok := d.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.state != Running {
+		return fmt.Errorf("%w: %s", ErrNotRunning, id)
+	}
+	if cpuLimit <= 0 || cpuLimit > 1 {
+		return fmt.Errorf("%w: %g", ErrBadLimit, cpuLimit)
+	}
+	d.settle()
+	c.cpuLimit = cpuLimit
+	d.reallocate()
+	return nil
+}
+
+// Stop terminates a running container before its workload finishes.
+func (d *Daemon) Stop(id string) error {
+	c, ok := d.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.state != Running {
+		return fmt.Errorf("%w: %s", ErrNotRunning, id)
+	}
+	d.settle()
+	d.exit(c)
+	d.reallocate()
+	return nil
+}
+
+// Remove deletes an exited container from the pool (`docker rm`).
+func (d *Daemon) Remove(id string) error {
+	c, ok := d.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.state == Running {
+		return fmt.Errorf("simdocker: remove %s: container is running", id)
+	}
+	delete(d.containers, id)
+	for i, oid := range d.order {
+		if oid == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns the container with the given id.
+func (d *Daemon) Get(id string) (*Container, error) {
+	c, ok := d.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// PS lists containers in creation order. With all=false only running
+// containers are returned, mirroring `docker ps` vs `docker ps -a`.
+func (d *Daemon) PS(all bool) []*Container {
+	out := make([]*Container, 0, len(d.order))
+	for _, id := range d.order {
+		c := d.containers[id]
+		if all || c.state == Running {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunningCount returns the number of running containers — T(i) in
+// Algorithm 2's notation.
+func (d *Daemon) RunningCount() int {
+	n := 0
+	for _, c := range d.containers {
+		if c.state == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a settled snapshot of one container's consumption.
+func (d *Daemon) Stats(id string) (Stats, error) {
+	c, ok := d.containers[id]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	d.settle()
+	s := Stats{
+		ID:         c.id,
+		Name:       c.name,
+		State:      c.state,
+		CPUAlloc:   c.alloc,
+		CPULimit:   c.cpuLimit,
+		CPUSeconds: c.cpuSeconds,
+		BlkIOBytes: c.blkioBytes,
+		NetIOBytes: c.netioBytes,
+		Eval:       c.workload.Eval(),
+	}
+	if rp, ok := c.workload.(ResourceProfiler); ok && c.state == Running {
+		s.MemoryBytes = rp.MemoryBytes()
+	}
+	return s, nil
+}
+
+// Sync settles all container accounting up to the engine's current time.
+// Monitors call it before reading cumulative counters.
+func (d *Daemon) Sync() { d.settle() }
+
+// settle integrates work at the current allocation from lastAdvance to
+// now. It must be called before any state mutation or counter read.
+func (d *Daemon) settle() {
+	now := d.engine.Now()
+	dt := float64(now - d.lastAdvance)
+	if dt < 0 {
+		panic("simdocker: time went backwards")
+	}
+	if dt == 0 {
+		d.lastAdvance = now
+		return
+	}
+	eff := d.efficiency(d.RunningCount())
+	for _, id := range d.order {
+		c := d.containers[id]
+		if c.state != Running || c.alloc == 0 {
+			continue
+		}
+		// CPU time is consumed at the allocated rate, but only the
+		// efficiency-scaled fraction advances the training job.
+		cpu := c.alloc * dt
+		work := cpu * eff
+		c.workload.Advance(work)
+		c.cpuSeconds += cpu
+		if rp, ok := c.workload.(ResourceProfiler); ok {
+			c.blkioBytes += work * rp.BlkIOPerWork()
+			c.netioBytes += work * rp.NetIOPerWork()
+		}
+	}
+	d.lastAdvance = now
+	// Completions exactly at `now` are handled by the completion event or
+	// by reallocate's done-check; settle only does accounting.
+}
+
+// exit transitions a container to Exited and notifies subscribers.
+func (d *Daemon) exit(c *Container) {
+	c.state = Exited
+	c.alloc = 0
+	c.finishedAt = d.engine.Now()
+	for _, fn := range d.onExit {
+		fn(c)
+	}
+}
+
+// reallocate recomputes every running container's CPU share from the
+// current limits and demands, retires any workload that has finished, and
+// schedules the next analytic completion event. Callers must settle first.
+func (d *Daemon) reallocate() {
+	// Retire finished workloads before computing shares. Analytic
+	// completion events can leave ~1e-15 work of float residue; deliver it
+	// so Done() is authoritative for every observer, then exit.
+	for _, id := range d.order {
+		c := d.containers[id]
+		if c.state != Running {
+			continue
+		}
+		rem, known := remainingWork(c.workload)
+		if known && rem <= 0 && !c.workload.Done() {
+			if wr, ok := c.workload.(WorkRemainer); ok {
+				c.workload.Advance(wr.Remaining())
+			}
+		}
+		if c.workload.Done() || (known && rem <= 0) || c.workload.CPUDemand() <= 0 {
+			d.exit(c)
+		}
+	}
+
+	claims := make([]resource.Claim, 0, len(d.order))
+	running := make([]*Container, 0, len(d.order))
+	for _, id := range d.order {
+		c := d.containers[id]
+		if c.state != Running {
+			continue
+		}
+		claims = append(claims, resource.Claim{
+			ID:     c.id,
+			Limit:  c.cpuLimit,
+			Demand: c.workload.CPUDemand(),
+		})
+		running = append(running, c)
+	}
+	alloc := resource.AllocateMap(d.capacity, claims)
+	for _, c := range running {
+		c.alloc = alloc[c.id]
+	}
+	d.scheduleCompletion(running)
+}
+
+// scheduleCompletion replaces the pending completion event with one at the
+// earliest analytic finish time under the current allocation.
+func (d *Daemon) scheduleCompletion(running []*Container) {
+	if d.completion != nil {
+		d.completion.Cancel()
+		d.completion = nil
+	}
+	eff := d.efficiency(len(running))
+	earliest := sim.Infinity
+	for _, c := range running {
+		rem, ok := remainingWork(c.workload)
+		if !ok || c.alloc <= 0 {
+			continue
+		}
+		eta := d.engine.Now() + sim.Time(rem/(c.alloc*eff))
+		if eta < earliest {
+			earliest = eta
+		}
+	}
+	if earliest == sim.Infinity {
+		return
+	}
+	d.completion = d.engine.At(earliest, sim.PriorityState, "simdocker.completion", func() {
+		d.completion = nil
+		d.settle()
+		d.reallocate()
+	})
+}
+
+// WorkRemainer is optionally implemented by workloads whose remaining CPU
+// work is known analytically (dlmodel jobs have fixed epoch budgets). It
+// lets the daemon compute exact completion times instead of polling.
+type WorkRemainer interface {
+	Remaining() float64
+}
+
+// remainingWork returns the workload's remaining CPU work if knowable.
+func remainingWork(w Workload) (float64, bool) {
+	if wr, ok := w.(WorkRemainer); ok {
+		rem := wr.Remaining()
+		if rem <= completionEps {
+			return 0, true
+		}
+		return rem, true
+	}
+	return 0, false
+}

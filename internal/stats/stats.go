@@ -1,0 +1,138 @@
+// Package stats provides the summary statistics and multi-seed study
+// harness used to check that the reproduction's random-workload results
+// are not single-realization artifacts: the paper reports one arrival
+// realization per experiment; the seed study re-runs an experiment across
+// many seeds and aggregates the distribution of wins, reductions and
+// makespan gains.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Summarize computes order statistics. It panics on an empty sample —
+// summarizing nothing is a harness bug.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		panic("stats: empty sample")
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	sum, sumSq := 0.0, 0.0
+	for _, v := range s {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    s[0],
+		P25:    Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		P75:    Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g±%.2g min=%.3g p50=%.3g max=%.3g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// SeedOutcome is one seed's comparison between FlowCon and the baseline.
+type SeedOutcome struct {
+	Seed int64
+	// Jobs is the workload size.
+	Jobs int
+	// Wins is how many jobs improved under FlowCon.
+	Wins int
+	// BestReduction / WorstReduction are the extreme per-job relative
+	// completion-time changes (positive = faster under FlowCon).
+	BestReduction  float64
+	WorstReduction float64
+	// MakespanGain is (NA − FlowCon)/NA.
+	MakespanGain float64
+}
+
+// StudyResult aggregates outcomes across seeds.
+type StudyResult struct {
+	Outcomes []SeedOutcome
+	// WinFraction is the summary of per-seed win ratios.
+	WinFraction Summary
+	// Best, Worst and MakespanGain summarize the respective outcome
+	// fields across seeds.
+	Best         Summary
+	Worst        Summary
+	MakespanGain Summary
+}
+
+// Aggregate builds a StudyResult from per-seed outcomes.
+func Aggregate(outcomes []SeedOutcome) StudyResult {
+	if len(outcomes) == 0 {
+		panic("stats: no outcomes to aggregate")
+	}
+	winFrac := make([]float64, len(outcomes))
+	best := make([]float64, len(outcomes))
+	worst := make([]float64, len(outcomes))
+	gain := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		if o.Jobs == 0 {
+			panic("stats: outcome with zero jobs")
+		}
+		winFrac[i] = float64(o.Wins) / float64(o.Jobs)
+		best[i] = o.BestReduction
+		worst[i] = o.WorstReduction
+		gain[i] = o.MakespanGain
+	}
+	return StudyResult{
+		Outcomes:     outcomes,
+		WinFraction:  Summarize(winFrac),
+		Best:         Summarize(best),
+		Worst:        Summarize(worst),
+		MakespanGain: Summarize(gain),
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std = %v, want sqrt(2)", s.Std)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Fatalf("quartiles = %v/%v", s.P25, s.P75)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	if got := Quantile(sorted, 0); got != 0 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := Quantile(sorted, 1); got != 10 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"below": func() { Quantile([]float64{1}, -0.1) },
+		"above": func() { Quantile([]float64{1}, 1.1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: min ≤ p25 ≤ median ≤ p75 ≤ max and mean within [min, max].
+func TestSummarizePropertyOrdering(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%50) + 1
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(sample)
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.Max && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize is permutation-invariant.
+func TestSummarizePropertyPermutationInvariant(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nn%20) + 2
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.Float64() * 100
+		}
+		a := Summarize(sample)
+		shuffled := append([]float64(nil), sample...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := Summarize(shuffled)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantilePropertyMonotone(t *testing.T) {
+	f := func(seed int64, q1, q2 float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sample := make([]float64, 17)
+		for i := range sample {
+			sample[i] = rng.Float64()
+		}
+		sort.Float64s(sample)
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(sample, a) <= Quantile(sample, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	outcomes := []SeedOutcome{
+		{Seed: 1, Jobs: 10, Wins: 8, BestReduction: 0.4, WorstReduction: -0.05, MakespanGain: 0.02},
+		{Seed: 2, Jobs: 10, Wins: 9, BestReduction: 0.5, WorstReduction: -0.10, MakespanGain: 0.03},
+	}
+	res := Aggregate(outcomes)
+	if math.Abs(res.WinFraction.Mean-0.85) > 1e-12 {
+		t.Fatalf("win fraction mean = %v", res.WinFraction.Mean)
+	}
+	if res.Best.Max != 0.5 || res.Worst.Min != -0.10 {
+		t.Fatalf("extremes = %+v / %+v", res.Best, res.Worst)
+	}
+	if math.Abs(res.MakespanGain.Mean-0.025) > 1e-12 {
+		t.Fatalf("gain mean = %v", res.MakespanGain.Mean)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	for name, outcomes := range map[string][]SeedOutcome{
+		"empty":     nil,
+		"zero jobs": {{Seed: 1, Jobs: 0}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("did not panic")
+				}
+			}()
+			Aggregate(outcomes)
+		})
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Fatal("empty string")
+	}
+}

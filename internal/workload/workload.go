@@ -1,0 +1,99 @@
+// Package workload generates the job-arrival scenarios of the evaluation:
+// the fixed three-job schedule of Section 5.3, the five-model random
+// schedule of Section 5.4, and the 10/15-job scalability workloads of
+// Section 5.5. Random scenarios are seeded and therefore reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dlmodel"
+)
+
+// Submission is one job arrival: which model, when, and the label used in
+// the paper's figures ("Job-1", "Job-2", ... in arrival order).
+type Submission struct {
+	Name    string
+	Profile dlmodel.Profile
+	At      float64
+}
+
+// FixedSchedule reproduces Section 5.3's administrator-controlled
+// schedule: VAE (PyTorch) at 0s, MNIST (PyTorch) at 40s, MNIST
+// (TensorFlow) at 80s.
+func FixedSchedule() []Submission {
+	return []Submission{
+		{Name: "VAE (Pytorch)", Profile: dlmodel.VAEPyTorch(), At: 0},
+		{Name: "MNIST (Pytorch)", Profile: dlmodel.MNISTPyTorch(), At: 40},
+		{Name: "MNIST (Tensorflow)", Profile: dlmodel.MNISTTensorFlow(), At: 80},
+	}
+}
+
+// randomFiveModels is the Section 5.4 model mix: "LSTM-CFC, VAE, VAET,
+// MNIST and GRU".
+func randomFiveModels() []dlmodel.Profile {
+	return []dlmodel.Profile{
+		dlmodel.LSTMCFC(),
+		dlmodel.VAEPyTorch(),
+		dlmodel.VAETensorFlow(),
+		dlmodel.MNISTPyTorch(),
+		dlmodel.GRU(),
+	}
+}
+
+// RandomFive reproduces Section 5.4: the five models above submitted at
+// uniformly random times in [0s, 200s). Jobs are renamed Job-1..Job-5 in
+// arrival order, matching the paper's numbering.
+func RandomFive(seed int64) []Submission {
+	return randomized(randomFiveModels(), seed)
+}
+
+// RandomN reproduces Section 5.5: n jobs drawn by cycling the full model
+// catalog, submitted at uniformly random times in [0s, 200s), labelled
+// Job-1..Job-n in arrival order.
+func RandomN(n int, seed int64) []Submission {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: n=%d must be positive", n))
+	}
+	catalog := dlmodel.Catalog()
+	profiles := make([]dlmodel.Profile, n)
+	for i := 0; i < n; i++ {
+		profiles[i] = catalog[i%len(catalog)]
+	}
+	return randomized(profiles, seed)
+}
+
+// SubmissionWindow is the arrival window used by the paper's random
+// scenarios: jobs are submitted between 0s and 200s.
+const SubmissionWindow = 200.0
+
+// randomized assigns each profile a uniform arrival in the submission
+// window, sorts by arrival, and labels jobs in arrival order.
+func randomized(profiles []dlmodel.Profile, seed int64) []Submission {
+	rng := rand.New(rand.NewSource(seed))
+	subs := make([]Submission, len(profiles))
+	for i, p := range profiles {
+		subs[i] = Submission{Profile: p, At: rng.Float64() * SubmissionWindow}
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].At != subs[j].At {
+			return subs[i].At < subs[j].At
+		}
+		return subs[i].Profile.Key() < subs[j].Profile.Key()
+	})
+	for i := range subs {
+		subs[i].Name = fmt.Sprintf("Job-%d", i+1)
+	}
+	return subs
+}
+
+// Names returns the submission labels in order.
+func Names(subs []Submission) []string {
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dlmodel"
+)
+
+func TestFixedSchedule(t *testing.T) {
+	subs := FixedSchedule()
+	if len(subs) != 3 {
+		t.Fatalf("fixed schedule has %d jobs, want 3", len(subs))
+	}
+	wantTimes := []float64{0, 40, 80}
+	wantModels := []string{"VAE (Pytorch)", "MNIST (Pytorch)", "MNIST (Tensorflow)"}
+	for i, s := range subs {
+		if s.At != wantTimes[i] {
+			t.Errorf("job %d at %v, want %v", i, s.At, wantTimes[i])
+		}
+		if s.Profile.Key() != wantModels[i] {
+			t.Errorf("job %d model %s, want %s", i, s.Profile.Key(), wantModels[i])
+		}
+		if s.Name != wantModels[i] {
+			t.Errorf("job %d name %s, want %s", i, s.Name, wantModels[i])
+		}
+	}
+}
+
+func TestRandomFiveModelMix(t *testing.T) {
+	subs := RandomFive(123)
+	if len(subs) != 5 {
+		t.Fatalf("random five has %d jobs", len(subs))
+	}
+	// Section 5.4's mix: LSTM-CFC, VAE, VAET, MNIST, GRU.
+	want := map[string]bool{
+		"LSTM-CFC (Tensorflow)": true,
+		"VAE (Pytorch)":         true,
+		"VAE (Tensorflow)":      true,
+		"MNIST (Pytorch)":       true,
+		"RNN-GRU (Tensorflow)":  true,
+	}
+	for _, s := range subs {
+		if !want[s.Profile.Key()] {
+			t.Errorf("unexpected model %s", s.Profile.Key())
+		}
+		delete(want, s.Profile.Key())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing models: %v", want)
+	}
+}
+
+func TestRandomArrivalsSortedAndLabelled(t *testing.T) {
+	subs := RandomN(15, 7)
+	if len(subs) != 15 {
+		t.Fatalf("got %d jobs", len(subs))
+	}
+	for i, s := range subs {
+		if s.At < 0 || s.At >= SubmissionWindow {
+			t.Errorf("arrival %v outside [0,%v)", s.At, SubmissionWindow)
+		}
+		if i > 0 && s.At < subs[i-1].At {
+			t.Errorf("arrivals not sorted at %d", i)
+		}
+	}
+	if subs[0].Name != "Job-1" || subs[14].Name != "Job-15" {
+		t.Errorf("labels wrong: %s ... %s", subs[0].Name, subs[14].Name)
+	}
+}
+
+func TestRandomNCyclesCatalog(t *testing.T) {
+	subs := RandomN(12, 3)
+	counts := map[string]int{}
+	for _, s := range subs {
+		counts[s.Profile.Key()]++
+	}
+	// 12 jobs over a 10-model catalog: two models appear twice.
+	twice := 0
+	for _, c := range counts {
+		switch c {
+		case 1:
+		case 2:
+			twice++
+		default:
+			t.Fatalf("model appears %d times", c)
+		}
+	}
+	if twice != 2 {
+		t.Fatalf("%d models appear twice, want 2", twice)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := RandomN(10, 42)
+	b := RandomN(10, 42)
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Profile.Key() != b[i].Profile.Key() {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+	c := RandomN(10, 43)
+	same := true
+	for i := range a {
+		if a[i].At != c[i].At {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestRandomNValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomN(0) did not panic")
+		}
+	}()
+	RandomN(0, 1)
+}
+
+func TestNames(t *testing.T) {
+	subs := []Submission{{Name: "a"}, {Name: "b"}}
+	got := Names(subs)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+// Property: every generated submission uses a valid catalog profile and
+// arrival labels are dense Job-1..Job-n.
+func TestRandomNProperty(t *testing.T) {
+	valid := map[string]bool{}
+	for _, p := range dlmodel.Catalog() {
+		valid[p.Key()] = true
+	}
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%20) + 1
+		subs := RandomN(n, seed)
+		if len(subs) != n {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, s := range subs {
+			if !valid[s.Profile.Key()] {
+				return false
+			}
+			if seen[s.Name] {
+				return false
+			}
+			seen[s.Name] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
