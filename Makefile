@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark, no tests: the smoke run CI uses to keep
+# the benchmark harness compiling and executable.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

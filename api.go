@@ -28,6 +28,27 @@
 //	})
 //	repro.ReportPair(os.Stdout, fc, na, "FlowCon vs NA")
 //
+// # Parallel sweeps
+//
+// Sweep executes many Specs across a bounded worker pool — each run has
+// its own simulation engine, so results are byte-identical to a serial
+// loop while the wall clock scales with cores:
+//
+//	specs, _ := repro.Grid{
+//	    Name:      "sensitivity",
+//	    Workload:  func(seed int64) []repro.Submission { return repro.RandomN(10, seed) },
+//	    Seeds:     []int64{1, 2, 3},
+//	    Alphas:    []float64{0.03, 0.05, 0.10},
+//	    Itvals:    []float64{20, 30, 60},
+//	    IncludeNA: true,
+//	}.Specs()
+//	sr, err := repro.Sweep(ctx, specs, repro.SweepOptions{Parallelism: 8})
+//	repro.ReportSweepResult(os.Stdout, sr)
+//
+// Sweep isolates per-run panics into that run's RunReport.Err, honours
+// ctx cancellation, and reports progress through SweepOptions.Observer.
+// The flowcon-sim command exposes the pool width as -parallel N.
+//
 // See the runnable programs under examples/ for complete scenarios.
 package repro
 
@@ -125,8 +146,19 @@ type (
 	Result = experiment.Result
 	// Setting is a FlowCon (α, itval) pair or the NA baseline in sweeps.
 	Setting = experiment.Setting
-	// Sweep is a family of runs across settings.
-	Sweep = experiment.Sweep
+	// SettingSweep is a family of runs across settings (Figures 3-6/9).
+	SettingSweep = experiment.SettingSweep
+	// SweepOptions tunes Sweep: pool width and progress observer.
+	SweepOptions = experiment.SweepOptions
+	// SweepEvent is one per-run progress notification from Sweep.
+	SweepEvent = experiment.SweepEvent
+	// RunReport is one run's slot (Result or Err) in a SweepResult.
+	RunReport = experiment.RunReport
+	// SweepResult aggregates a sweep: per-run reports in spec order plus
+	// wall-clock/serial-work accounting.
+	SweepResult = experiment.SweepResult
+	// Grid expands α/itval/seed/worker-count cross-products into Specs.
+	Grid = experiment.Grid
 	// JobRecord is one job's lifecycle summary.
 	JobRecord = metrics.JobRecord
 	// Series is a time series of observations.
@@ -135,8 +167,25 @@ type (
 	Policy = sched.Policy
 )
 
-// Run executes a Spec to completion.
+// Run executes a Spec to completion, panicking on an invalid spec.
 var Run = experiment.Run
+
+// RunE is Run with errors instead of panics on invalid specs.
+var RunE = experiment.RunE
+
+// Sweep executes Specs across a bounded worker pool with per-run panic
+// isolation, deterministic spec-order results, and context cancellation.
+var Sweep = experiment.Sweep
+
+// SettingSpecs expands one workload across policy settings into Specs.
+var SettingSpecs = experiment.SettingSpecs
+
+// DefaultParallelism / SetDefaultParallelism control the pool width used
+// when SweepOptions.Parallelism is zero (default runtime.GOMAXPROCS).
+var (
+	DefaultParallelism    = experiment.DefaultParallelism
+	SetDefaultParallelism = experiment.SetDefaultParallelism
+)
 
 // Policy factories.
 var (
@@ -196,7 +245,8 @@ var (
 )
 
 // Report renderers.
-func ReportSweep(w io.Writer, sw *Sweep)                    { experiment.ReportSweep(w, sw) }
+func ReportSweep(w io.Writer, sw *SettingSweep)             { experiment.ReportSweep(w, sw) }
+func ReportSweepResult(w io.Writer, sr *SweepResult)        { experiment.ReportSweepResult(w, sr) }
 func ReportTable1(w io.Writer)                              { experiment.ReportTable1(w) }
 func ReportCPUTrace(w io.Writer, res *Result, title string) { experiment.ReportCPUTrace(w, res, title) }
 func ReportPair(w io.Writer, fc, na *Result, title string)  { experiment.ReportPair(w, fc, na, title) }

@@ -55,9 +55,9 @@ func BenchmarkFig1(b *testing.B) {
 
 // benchFixedSweep runs one of the Figures 3-6 sweeps and reports the tail
 // job's best reduction across settings.
-func benchFixedSweep(b *testing.B, run func() *experiment.Sweep) {
+func benchFixedSweep(b *testing.B, run func() *experiment.SettingSweep) {
 	b.Helper()
-	var sw *experiment.Sweep
+	var sw *experiment.SettingSweep
 	for i := 0; i < b.N; i++ {
 		sw = run()
 	}
@@ -119,7 +119,7 @@ func BenchmarkFig7Fig8(b *testing.B) {
 
 // BenchmarkFig9 regenerates Figure 9: five random jobs across settings.
 func BenchmarkFig9(b *testing.B) {
-	var sw *experiment.Sweep
+	var sw *experiment.SettingSweep
 	for i := 0; i < b.N; i++ {
 		sw = experiment.Fig9()
 	}

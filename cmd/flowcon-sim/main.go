@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	flowcon-sim [-csv dir] <experiment> [...]
+//	flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
 //
 // where <experiment> is one of: fig1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1,
-// table2, all.
+// table2, all. -parallel N bounds the sweep worker pool (default
+// GOMAXPROCS; 1 forces serial execution). Output is byte-identical at
+// any pool width — runs land in spec order regardless of interleaving.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -25,8 +28,11 @@ import (
 
 func main() {
 	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool width for experiment sweeps (1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
+	experiment.SetDefaultParallelism(*parallel)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -68,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: flowcon-sim [-csv dir] <experiment> [...]
+	fmt.Fprintf(os.Stderr, `usage: flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
 
 experiments:
   fig1      training progress of five models (motivation)

@@ -311,7 +311,7 @@ func TestSettingLabel(t *testing.T) {
 }
 
 func TestSweepResultFor(t *testing.T) {
-	sw := &Sweep{
+	sw := &SettingSweep{
 		Settings: []Setting{{NA: true}},
 		Results:  []*Result{{Name: "x"}},
 	}

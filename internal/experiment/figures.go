@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,9 +48,9 @@ func (s Setting) policy() func(flowcon.Tracer) sched.Policy {
 	return FlowConPolicy(s.Alpha, s.Itval)
 }
 
-// Sweep is a family of runs over settings on one workload — the shape of
-// Figures 3-6 and 9.
-type Sweep struct {
+// SettingSweep is a family of runs over settings on one workload — the
+// shape of Figures 3-6 and 9.
+type SettingSweep struct {
 	Title    string
 	Settings []Setting
 	Results  []*Result
@@ -57,7 +58,7 @@ type Sweep struct {
 }
 
 // ResultFor returns the run for a setting label ("NA", "5%,20", ...).
-func (sw *Sweep) ResultFor(label string) *Result {
+func (sw *SettingSweep) ResultFor(label string) *Result {
 	for i, s := range sw.Settings {
 		if s.Label() == label {
 			return sw.Results[i]
@@ -66,21 +67,37 @@ func (sw *Sweep) ResultFor(label string) *Result {
 	return nil
 }
 
-// runSweep executes the workload once per setting.
-func runSweep(title string, subs []workload.Submission, settings []Setting) *Sweep {
-	sw := &Sweep{Title: title, Settings: settings, JobNames: workload.Names(subs)}
-	for _, s := range settings {
-		res := Run(Spec{
-			Name:        fmt.Sprintf("%s [%s]", title, s.Label()),
-			NewPolicy:   s.policy(),
-			Submissions: subs,
-		})
-		if !res.Completed {
-			panic(fmt.Sprintf("experiment: %s [%s] did not complete", title, s.Label()))
+// runSweep executes the workload once per setting across the Sweep pool.
+// Results land in setting order whatever the execution interleaving, so
+// the rendered figures are byte-identical at any parallelism.
+func runSweep(title string, subs []workload.Submission, settings []Setting) *SettingSweep {
+	sw := &SettingSweep{Title: title, Settings: settings, JobNames: workload.Names(subs)}
+	sr := mustSweep(SettingSpecs(title, subs, settings))
+	for i, rep := range sr.Runs {
+		if !rep.Result.Completed {
+			panic(fmt.Sprintf("experiment: %s [%s] did not complete", title, settings[i].Label()))
 		}
-		sw.Results = append(sw.Results, res)
+		sw.Results = append(sw.Results, rep.Result)
 	}
 	return sw
+}
+
+// mustSweep runs specs at the default parallelism and panics on any
+// failed run — the contract of the figure regenerators, which promise
+// complete results.
+func mustSweep(specs []Spec) *SweepResult {
+	sr, _ := Sweep(context.Background(), specs, SweepOptions{})
+	if err := sr.Err(); err != nil {
+		panic(err.Error())
+	}
+	return sr
+}
+
+// runPair executes a FlowCon/NA spec pair concurrently — the shape of
+// Figures 7/8, 10/11, 12-16 and 17.
+func runPair(fcSpec, naSpec Spec) (flowCon, na *Result) {
+	sr := mustSweep([]Spec{fcSpec, naSpec})
+	return sr.Runs[0].Result, sr.Runs[1].Result
 }
 
 // settingsOverItval builds the Figures 3/4 x-axis: itval ∈ {20..60} at a
@@ -104,25 +121,25 @@ func settingsOverAlpha(itval float64) []Setting {
 }
 
 // Fig3 reproduces Figure 3: fixed schedule, α=5%, varying itval.
-func Fig3() *Sweep {
+func Fig3() *SettingSweep {
 	return runSweep("Fig3: completion time, alpha=5%, varying interval",
 		workload.FixedSchedule(), settingsOverItval(0.05))
 }
 
 // Fig4 reproduces Figure 4: fixed schedule, α=10%, varying itval.
-func Fig4() *Sweep {
+func Fig4() *SettingSweep {
 	return runSweep("Fig4: completion time, alpha=10%, varying interval",
 		workload.FixedSchedule(), settingsOverItval(0.10))
 }
 
 // Fig5 reproduces Figure 5: fixed schedule, itval=20, varying α.
-func Fig5() *Sweep {
+func Fig5() *SettingSweep {
 	return runSweep("Fig5: completion time, itval=20, varying alpha",
 		workload.FixedSchedule(), settingsOverAlpha(20))
 }
 
 // Fig6 reproduces Figure 6: fixed schedule, itval=30, varying α.
-func Fig6() *Sweep {
+func Fig6() *SettingSweep {
 	return runSweep("Fig6: completion time, itval=30, varying alpha",
 		workload.FixedSchedule(), settingsOverAlpha(30))
 }
@@ -152,16 +169,21 @@ func Fig1() []ModelCurve {
 		dlmodel.GRU(),
 		dlmodel.LogisticRegression(),
 	}
-	out := make([]ModelCurve, 0, len(models))
-	for _, p := range models {
-		res := Run(Spec{
+	specs := make([]Spec, len(models))
+	for i, p := range models {
+		specs[i] = Spec{
 			Name:      "Fig1 " + p.Key(),
 			NewPolicy: NAPolicy(20),
 			Submissions: []workload.Submission{
 				{Name: p.Key(), Profile: p, At: 0},
 			},
 			SamplePeriod: 1,
-		})
+		}
+	}
+	sr := mustSweep(specs)
+	out := make([]ModelCurve, 0, len(models))
+	for i, p := range models {
+		res := sr.Runs[i].Result
 		job, _ := res.Job(p.Key())
 		dur := job.CompletionTime()
 		curve := ModelCurve{Model: p.Key()}
@@ -192,10 +214,10 @@ type Table2Row struct {
 // Table2 reproduces Table 2: the completion-time reduction of MNIST
 // (TensorFlow) across the Figure 4 settings (α=10%, varying itval) and the
 // Figure 5 settings (itval=20, varying α).
-func Table2(fig4, fig5 *Sweep) []Table2Row {
+func Table2(fig4, fig5 *SettingSweep) []Table2Row {
 	const job = "MNIST (Tensorflow)"
 	var rows []Table2Row
-	add := func(sw *Sweep) {
+	add := func(sw *SettingSweep) {
 		na := sw.ResultFor("NA").CompletionTimes()[job]
 		for i, s := range sw.Settings {
 			if s.NA {
@@ -214,14 +236,14 @@ func Table2(fig4, fig5 *Sweep) []Table2Row {
 // the configurations whose CPU traces are Figures 7 and 8.
 func FixedPair() (flowCon, na *Result) {
 	subs := workload.FixedSchedule()
-	fc := Run(Spec{Name: "Fig7 FlowCon 5%,20", NewPolicy: FlowConPolicy(0.05, 20), Submissions: subs})
-	n := Run(Spec{Name: "Fig8 NA", NewPolicy: NAPolicy(20), Submissions: subs})
-	return fc, n
+	return runPair(
+		Spec{Name: "Fig7 FlowCon 5%,20", NewPolicy: FlowConPolicy(0.05, 20), Submissions: subs},
+		Spec{Name: "Fig8 NA", NewPolicy: NAPolicy(20), Submissions: subs})
 }
 
 // Fig9 reproduces Figure 9: five random-arrival jobs under four FlowCon
 // settings and NA.
-func Fig9() *Sweep {
+func Fig9() *SettingSweep {
 	settings := []Setting{
 		{Alpha: 0.03, Itval: 30},
 		{Alpha: 0.03, Itval: 60},
@@ -237,27 +259,27 @@ func Fig9() *Sweep {
 // — the configurations of Figures 10 and 11.
 func RandomPair() (flowCon, na *Result) {
 	subs := workload.RandomFive(SeedRandomFive)
-	fc := Run(Spec{Name: "Fig10 FlowCon 3%,30", NewPolicy: FlowConPolicy(0.03, 30), Submissions: subs})
-	n := Run(Spec{Name: "Fig11 NA", NewPolicy: NAPolicy(30), Submissions: subs})
-	return fc, n
+	return runPair(
+		Spec{Name: "Fig10 FlowCon 3%,30", NewPolicy: FlowConPolicy(0.03, 30), Submissions: subs},
+		Spec{Name: "Fig11 NA", NewPolicy: NAPolicy(30), Submissions: subs})
 }
 
 // TenJobPair runs the 10-job scalability workload under FlowCon(10%,20)
 // and NA — Figures 12, 13, 14, 15, 16 all derive from this pair.
 func TenJobPair() (flowCon, na *Result) {
 	subs := workload.RandomN(10, SeedRandomTen)
-	fc := Run(Spec{Name: "Fig12 FlowCon 10%,20", NewPolicy: FlowConPolicy(0.10, 20), Submissions: subs})
-	n := Run(Spec{Name: "Fig12 NA", NewPolicy: NAPolicy(20), Submissions: subs})
-	return fc, n
+	return runPair(
+		Spec{Name: "Fig12 FlowCon 10%,20", NewPolicy: FlowConPolicy(0.10, 20), Submissions: subs},
+		Spec{Name: "Fig12 NA", NewPolicy: NAPolicy(20), Submissions: subs})
 }
 
 // FifteenJobPair runs the 15-job workload under FlowCon(10%,40) and NA —
 // Figure 17.
 func FifteenJobPair() (flowCon, na *Result) {
 	subs := workload.RandomN(15, SeedRandom15)
-	fc := Run(Spec{Name: "Fig17 FlowCon 10%,40", NewPolicy: FlowConPolicy(0.10, 40), Submissions: subs})
-	n := Run(Spec{Name: "Fig17 NA", NewPolicy: NAPolicy(40), Submissions: subs})
-	return fc, n
+	return runPair(
+		Spec{Name: "Fig17 FlowCon 10%,40", NewPolicy: FlowConPolicy(0.10, 40), Submissions: subs},
+		Spec{Name: "Fig17 NA", NewPolicy: NAPolicy(40), Submissions: subs})
 }
 
 // GrowthTrace extracts a job's growth-efficiency series from a result —

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/dlmodel"
 	"repro/internal/metrics"
@@ -11,7 +12,7 @@ import (
 
 // ReportSweep renders a Figures 3-6/9 style sweep: one row per job with
 // completion times across settings, plus the makespan row.
-func ReportSweep(w io.Writer, sw *Sweep) {
+func ReportSweep(w io.Writer, sw *SettingSweep) {
 	fmt.Fprintln(w, sw.Title)
 	header := []string{"job"}
 	for _, s := range sw.Settings {
@@ -31,6 +32,44 @@ func ReportSweep(w io.Writer, sw *Sweep) {
 	}
 	rows = append(rows, mk)
 	plot.Table(w, header, rows)
+}
+
+// ReportSweepResult summarizes a Sweep run: per-run status in spec order
+// plus the wall-clock/serial-work accounting. Figure renderers consume
+// the Results; this is the operational view (progress, failures,
+// speedup) for large scenario grids.
+func ReportSweepResult(w io.Writer, sr *SweepResult) {
+	fmt.Fprintf(w, "Sweep: %d runs, parallelism %d\n", len(sr.Runs), sr.Parallelism)
+	var rows [][]string
+	for _, r := range sr.Runs {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAILED"
+		}
+		mk := ""
+		if r.Result != nil {
+			mk = fmt.Sprintf("%.1f", r.Result.Makespan)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Index), r.Name, status, mk,
+			fmt.Sprintf("%.2fs", r.Elapsed.Seconds()),
+		})
+	}
+	plot.Table(w, []string{"#", "run", "status", "makespan", "elapsed"}, rows)
+	fmt.Fprintf(w, "  wall %.2fs, serial work %.2fs, speedup %.2fx\n",
+		sr.Wall.Seconds(), sr.Work.Seconds(), sr.Speedup())
+	if failed := sr.Failed(); len(failed) > 0 {
+		fmt.Fprintf(w, "  %d run(s) failed:\n", len(failed))
+		for _, r := range failed {
+			fmt.Fprintf(w, "    %d (%s): %v\n", r.Index, r.Name, firstLine(r.Err.Error()))
+		}
+	}
+}
+
+// firstLine trims a multi-line error (panic traces) for table display.
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
 }
 
 // ReportTable1 renders the Table 1 model catalog.

@@ -105,12 +105,34 @@ func (r *Result) Job(name string) (metrics.JobRecord, bool) {
 }
 
 // Run executes the spec to completion (or horizon) and returns the result.
+// It panics on an invalid spec; Sweep and other programmatic callers should
+// prefer RunE, which reports the same conditions as errors.
 func Run(spec Spec) *Result {
+	res, err := RunE(spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunE executes the spec to completion (or horizon) and returns the
+// result. Unlike Run it rejects invalid specs — nil policy, empty
+// submissions, out-of-range failure index — with an error instead of a
+// panic.
+func RunE(spec Spec) (*Result, error) {
 	if spec.NewPolicy == nil {
-		panic("experiment: spec without policy")
+		return nil, fmt.Errorf("experiment: spec %q without policy", spec.Name)
 	}
 	if len(spec.Submissions) == 0 {
-		panic("experiment: spec without submissions")
+		return nil, fmt.Errorf("experiment: spec %q without submissions", spec.Name)
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("experiment: spec %q has negative worker count %d", spec.Name, spec.Workers)
+	}
+	for idx := range spec.Failures {
+		if idx < 0 || idx >= max(spec.Workers, 1) {
+			return nil, fmt.Errorf("experiment: spec %q failure index %d out of range", spec.Name, idx)
+		}
 	}
 	if spec.Workers == 0 {
 		spec.Workers = 1
@@ -155,9 +177,6 @@ func Run(spec Spec) *Result {
 		policies[i] = p
 	}
 	for idx, at := range spec.Failures {
-		if idx < 0 || idx >= len(workers) {
-			panic(fmt.Sprintf("experiment: failure index %d out of range", idx))
-		}
 		w := workers[idx]
 		engine.At(sim.Time(at), sim.PriorityState, "experiment.fail."+w.Name(), w.Fail)
 	}
@@ -212,5 +231,5 @@ func Run(spec Spec) *Result {
 			res.LimitUpdates += fc.Controller().LimitUpdates()
 		}
 	}
-	return res
+	return res, nil
 }

@@ -11,24 +11,32 @@ import (
 // SeedStudy re-runs the FlowCon-vs-NA comparison on n-job random
 // workloads across many seeds and aggregates the outcome distribution —
 // the robustness check behind the calibrated single-seed figures (the
-// paper itself reports one arrival realization per experiment).
+// paper itself reports one arrival realization per experiment). The
+// 2×len(seeds) runs execute on the Sweep pool; outcomes aggregate in
+// seed order, so the distribution is independent of scheduling.
 func SeedStudy(jobs int, seeds []int64, alpha, itval float64) stats.StudyResult {
 	if len(seeds) == 0 {
 		panic("experiment: seed study needs at least one seed")
 	}
-	outcomes := make([]stats.SeedOutcome, 0, len(seeds))
+	specs := make([]Spec, 0, 2*len(seeds))
 	for _, seed := range seeds {
 		subs := workload.RandomN(jobs, seed)
-		fc := Run(Spec{
-			Name:        fmt.Sprintf("seed-study-%d-fc", seed),
-			NewPolicy:   FlowConPolicy(alpha, itval),
-			Submissions: subs,
-		})
-		na := Run(Spec{
-			Name:        fmt.Sprintf("seed-study-%d-na", seed),
-			NewPolicy:   NAPolicy(itval),
-			Submissions: subs,
-		})
+		specs = append(specs,
+			Spec{
+				Name:        fmt.Sprintf("seed-study-%d-fc", seed),
+				NewPolicy:   FlowConPolicy(alpha, itval),
+				Submissions: subs,
+			},
+			Spec{
+				Name:        fmt.Sprintf("seed-study-%d-na", seed),
+				NewPolicy:   NAPolicy(itval),
+				Submissions: subs,
+			})
+	}
+	sr := mustSweep(specs)
+	outcomes := make([]stats.SeedOutcome, 0, len(seeds))
+	for i, seed := range seeds {
+		fc, na := sr.Runs[2*i].Result, sr.Runs[2*i+1].Result
 		outcomes = append(outcomes, Outcome(seed, fc, na))
 	}
 	return stats.Aggregate(outcomes)

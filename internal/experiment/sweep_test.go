@@ -1,0 +1,316 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/flowcon"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// fourWaySpecs is a small real sweep: the fixed schedule under three
+// FlowCon settings and NA.
+func fourWaySpecs() []Spec {
+	return SettingSpecs("4way", workload.FixedSchedule(), []Setting{
+		{Alpha: 0.05, Itval: 20},
+		{Alpha: 0.05, Itval: 40},
+		{Alpha: 0.10, Itval: 20},
+		{NA: true},
+	})
+}
+
+// TestSweepMatchesSerial: a parallel sweep returns, slot for slot, the
+// same results a serial loop over RunE produces — the determinism
+// contract behind byte-identical figures.
+func TestSweepMatchesSerial(t *testing.T) {
+	specs := fourWaySpecs()
+	serial := make([]*Result, len(specs))
+	for i, s := range specs {
+		res, err := RunE(s)
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		serial[i] = res
+	}
+	sr, err := Sweep(context.Background(), specs, SweepOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sr.Err() != nil {
+		t.Fatalf("sweep runs failed: %v", sr.Err())
+	}
+	if len(sr.Runs) != len(specs) {
+		t.Fatalf("got %d runs, want %d", len(sr.Runs), len(specs))
+	}
+	for i, rep := range sr.Runs {
+		want, got := serial[i], rep.Result
+		if rep.Index != i || rep.Name != specs[i].Name {
+			t.Fatalf("slot %d mislabelled: %+v", i, rep)
+		}
+		if got.Makespan != want.Makespan {
+			t.Errorf("run %d makespan %v != serial %v", i, got.Makespan, want.Makespan)
+		}
+		if got.AlgorithmRuns != want.AlgorithmRuns || got.LimitUpdates != want.LimitUpdates {
+			t.Errorf("run %d overhead %d/%d != serial %d/%d",
+				i, got.AlgorithmRuns, got.LimitUpdates, want.AlgorithmRuns, want.LimitUpdates)
+		}
+		gt, wt := got.CompletionTimes(), want.CompletionTimes()
+		for name, v := range wt {
+			if gt[name] != v {
+				t.Errorf("run %d job %s: %v != serial %v", i, name, gt[name], v)
+			}
+		}
+	}
+}
+
+// TestSweepRenderIdentical: the rendered sweep report is byte-identical
+// at every pool width.
+func TestSweepRenderIdentical(t *testing.T) {
+	render := func(par int) string {
+		SetDefaultParallelism(par)
+		defer SetDefaultParallelism(0)
+		var sb strings.Builder
+		ReportSweep(&sb, Fig3())
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Fatalf("Fig3 output differs between -parallel 1 and 4:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+// TestSweepPanicIsolation: one panicking run lands in its own slot's Err
+// without sinking the other runs or the sweep.
+func TestSweepPanicIsolation(t *testing.T) {
+	specs := fourWaySpecs()
+	specs[1].NewPolicy = func(flowcon.Tracer) sched.Policy {
+		panic("policy constructor exploded")
+	}
+	sr, err := Sweep(context.Background(), specs, SweepOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("sweep returned %v; per-run failures must not fail the sweep", err)
+	}
+	failed := sr.Failed()
+	if len(failed) != 1 || failed[0].Index != 1 {
+		t.Fatalf("failed = %+v, want exactly run 1", failed)
+	}
+	if !strings.Contains(failed[0].Err.Error(), "policy constructor exploded") {
+		t.Fatalf("panic message lost: %v", failed[0].Err)
+	}
+	if got := len(sr.Results()); got != 3 {
+		t.Fatalf("%d healthy results, want 3", got)
+	}
+	if sr.Err() == nil || !strings.Contains(sr.Err().Error(), "run 1") {
+		t.Fatalf("Err() = %v, want first failure", sr.Err())
+	}
+}
+
+// TestSweepInvalidSpec: spec validation arrives as an error (via RunE),
+// not a panic.
+func TestSweepInvalidSpec(t *testing.T) {
+	specs := []Spec{{Name: "bad"}} // no policy, no submissions
+	sr, err := Sweep(context.Background(), specs, SweepOptions{})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sr.Runs[0].Err == nil || !strings.Contains(sr.Runs[0].Err.Error(), "without policy") {
+		t.Fatalf("run err = %v", sr.Runs[0].Err)
+	}
+}
+
+// TestSweepCancellation: a cancelled context skips unstarted specs and
+// surfaces the context error.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sr, err := Sweep(ctx, fourWaySpecs(), SweepOptions{Parallelism: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, rep := range sr.Runs {
+		if rep.Err != context.Canceled {
+			t.Fatalf("run %d err = %v, want context.Canceled", i, rep.Err)
+		}
+	}
+}
+
+// TestSweepMidwayCancellation: cancelling after the first completed run
+// (serial pool, so ordering is known) stops the remaining specs.
+func TestSweepMidwayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sr, err := Sweep(ctx, fourWaySpecs(), SweepOptions{
+		Parallelism: 1,
+		Observer:    func(SweepEvent) { cancel() },
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sr.Runs[0].Err != nil || sr.Runs[0].Result == nil {
+		t.Fatalf("first run should have finished: %+v", sr.Runs[0])
+	}
+	for i := 1; i < len(sr.Runs); i++ {
+		if sr.Runs[i].Err != context.Canceled {
+			t.Fatalf("run %d err = %v, want context.Canceled", i, sr.Runs[i].Err)
+		}
+	}
+}
+
+// TestSweepObserver: exactly one event per spec, Done counting 1..n.
+func TestSweepObserver(t *testing.T) {
+	specs := fourWaySpecs()
+	var (
+		mu     sync.Mutex
+		events []SweepEvent
+	)
+	_, err := Sweep(context.Background(), specs, SweepOptions{
+		Parallelism: 3,
+		Observer: func(ev SweepEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(specs) {
+		t.Fatalf("%d events, want %d", len(events), len(specs))
+	}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(specs) {
+			t.Fatalf("event %d: Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+		if seen[ev.Index] {
+			t.Fatalf("index %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+	}
+}
+
+func TestRunEValidation(t *testing.T) {
+	subs := workload.FixedSchedule()
+	for name, spec := range map[string]Spec{
+		"no policy":      {Submissions: subs},
+		"no submissions": {NewPolicy: NAPolicy(20)},
+		"negative workers": {
+			NewPolicy:   NAPolicy(20),
+			Submissions: subs,
+			Workers:     -1,
+		},
+		"bad failure index": {
+			NewPolicy:   NAPolicy(20),
+			Submissions: subs,
+			Failures:    map[int]float64{3: 100},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := RunE(spec); err == nil {
+				t.Error("invalid spec returned nil error")
+			}
+		})
+	}
+	// Run keeps the panicking wrapper for compatibility.
+	defer func() {
+		if recover() == nil {
+			t.Error("Run did not panic on invalid spec")
+		}
+	}()
+	Run(Spec{})
+}
+
+func TestGridSpecs(t *testing.T) {
+	g := Grid{
+		Name:      "grid",
+		Workload:  func(seed int64) []workload.Submission { return workload.RandomFive(seed) },
+		Seeds:     []int64{1, 2},
+		Alphas:    []float64{0.03, 0.05},
+		Itvals:    []float64{20, 30},
+		IncludeNA: true,
+		Workers:   []int{1, 2},
+	}
+	specs, err := g.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 seeds × 2 workers × (2α × 2itval + NA) = 2*2*5.
+	if len(specs) != 20 {
+		t.Fatalf("%d specs, want 20", len(specs))
+	}
+	if want := "grid [seed=1 3%,20] [w=1]"; specs[0].Name != want {
+		t.Fatalf("specs[0].Name = %q, want %q", specs[0].Name, want)
+	}
+	last := specs[len(specs)-1]
+	if want := "grid [seed=2 NA] [w=2]"; last.Name != want {
+		t.Fatalf("last spec name = %q, want %q", last.Name, want)
+	}
+	if last.Workers != 2 {
+		t.Fatalf("last spec workers = %d", last.Workers)
+	}
+}
+
+func TestGridConfigureHook(t *testing.T) {
+	g := Grid{
+		Name:        "fixed",
+		Submissions: workload.FixedSchedule(),
+		Alphas:      []float64{0.05},
+		Itvals:      []float64{20},
+		Configure:   func(s *Spec) { s.Horizon = 123 },
+	}
+	specs, err := g.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Horizon != 123 {
+		t.Fatalf("configure hook not applied: %+v", specs)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := map[string]Grid{
+		"no workload":        {Name: "g", Alphas: []float64{0.05}, Itvals: []float64{20}},
+		"both workloads":     {Name: "g", Submissions: workload.FixedSchedule(), Workload: func(int64) []workload.Submission { return nil }, Alphas: []float64{0.05}, Itvals: []float64{20}},
+		"seeded without":     {Name: "g", Workload: func(int64) []workload.Submission { return nil }, Alphas: []float64{0.05}, Itvals: []float64{20}},
+		"no settings at all": {Name: "g", Submissions: workload.FixedSchedule()},
+		"empty submissions":  {Name: "g", Submissions: []workload.Submission{}, Alphas: []float64{0.05}, Itvals: []float64{20}},
+	}
+	for name, g := range cases {
+		if _, err := g.Specs(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestGridSweepEndToEnd runs a tiny grid through the pool and checks the
+// report renders.
+func TestGridSweepEndToEnd(t *testing.T) {
+	specs, err := Grid{
+		Name:        "e2e",
+		Submissions: workload.FixedSchedule(),
+		Alphas:      []float64{0.05},
+		Itvals:      []float64{20, 30},
+		IncludeNA:   true,
+	}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Sweep(context.Background(), specs, SweepOptions{Parallelism: 2})
+	if err != nil || sr.Err() != nil {
+		t.Fatalf("sweep: %v / %v", err, sr.Err())
+	}
+	if sr.Parallelism != 2 || sr.Work <= 0 || sr.Wall <= 0 {
+		t.Fatalf("accounting: %+v", sr)
+	}
+	var sb strings.Builder
+	ReportSweepResult(&sb, sr)
+	out := sb.String()
+	for _, want := range []string{"3 runs", "parallelism 2", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
