@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+# Coverage floor for internal/... — tier-1 tests must keep statement
+# coverage at or above this.
+COVER_FLOOR ?= 85
+# Per-target budget for the fuzz smoke run.
+FUZZTIME ?= 20s
+
+.PHONY: all build test race bench fmt vet cover fuzz ci
 
 all: build test
 
@@ -25,4 +31,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
+		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Short smoke run of every native fuzz target (the corpus under
+# testdata/fuzz runs as regular tests too).
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzPlanLimits$$' -fuzztime=$(FUZZTIME) ./internal/flowcon
+	$(GO) test -run='^$$' -fuzz='^FuzzGenerate$$' -fuzztime=$(FUZZTIME) ./internal/workload
+	$(GO) test -run='^$$' -fuzz='^FuzzReplay$$' -fuzztime=$(FUZZTIME) ./internal/workload
+
+ci: fmt vet build race bench cover fuzz

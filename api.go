@@ -138,6 +138,43 @@ var (
 	RandomN       = workload.RandomN
 )
 
+// Scenario engine: arrival processes, job mixes, and trace record/replay
+// (see internal/workload).
+type (
+	// ArrivalProcess generates seeded arrival times in a window.
+	ArrivalProcess = workload.ArrivalProcess
+	// Poisson is a constant-rate memoryless stream.
+	Poisson = workload.Poisson
+	// OnOff is a bursty stream alternating ON/OFF phases.
+	OnOff = workload.OnOff
+	// Diurnal is a sinusoidally modulated stream (day/night cycles).
+	Diurnal = workload.Diurnal
+	// FlashCrowd is a steady trickle plus one spike.
+	FlashCrowd = workload.FlashCrowd
+	// UniformWindow is the paper's N-jobs-at-uniform-times process.
+	UniformWindow = workload.UniformWindow
+	// WorkloadGenerator composes a process with a job mix into seeded
+	// schedules.
+	WorkloadGenerator = workload.Generator
+	// Mix is a weighted distribution over model profiles.
+	Mix = workload.Mix
+	// MixEntry is one weighted model in a Mix.
+	MixEntry = workload.MixEntry
+)
+
+// Mix constructors.
+var (
+	UniformMix = workload.UniformMix
+	CatalogMix = workload.CatalogMix
+)
+
+// RecordTrace / ReplayTrace serialize schedules as JSONL traces that
+// round-trip byte-identically (see internal/workload Record/Replay).
+var (
+	RecordTrace = workload.Record
+	ReplayTrace = workload.Replay
+)
+
 // Experiments (see internal/experiment).
 type (
 	// Spec describes one simulation run.
@@ -159,6 +196,12 @@ type (
 	SweepResult = experiment.SweepResult
 	// Grid expands α/itval/seed/worker-count cross-products into Specs.
 	Grid = experiment.Grid
+	// Scenario is a named workload family in the scenario registry.
+	Scenario = experiment.Scenario
+	// ScenarioOutcome is one scenario's per-seed reports from a sweep.
+	ScenarioOutcome = experiment.ScenarioOutcome
+	// TraceEvent is one line of a run's JSONL event trace.
+	TraceEvent = experiment.TraceEvent
 	// JobRecord is one job's lifecycle summary.
 	JobRecord = metrics.JobRecord
 	// Series is a time series of observations.
@@ -179,6 +222,20 @@ var Sweep = experiment.Sweep
 
 // SettingSpecs expands one workload across policy settings into Specs.
 var SettingSpecs = experiment.SettingSpecs
+
+// Scenario registry and runner (see internal/experiment). RegisterScenario
+// adds custom scenarios next to the built-in Poisson / bursty / diurnal /
+// flash-crowd arrival processes; RunScenarios executes (scenario, seed)
+// pairs across the sweep pool.
+var (
+	RegisterScenario = experiment.RegisterScenario
+	Scenarios        = experiment.Scenarios
+	ScenarioByName   = experiment.ScenarioByName
+	ScenarioSeeds    = experiment.ScenarioSeeds
+	RunScenarios     = experiment.RunScenarios
+	EventTrace       = experiment.EventTrace
+	WriteEventTrace  = experiment.WriteEventTrace
+)
 
 // DefaultParallelism / SetDefaultParallelism control the pool width used
 // when SweepOptions.Parallelism is zero (default runtime.GOMAXPROCS).
@@ -253,3 +310,5 @@ func ReportPair(w io.Writer, fc, na *Result, title string)  { experiment.ReportP
 func ReportGrowth(w io.Writer, fc, na *Result, job, title string) {
 	experiment.ReportGrowth(w, fc, na, job, title)
 }
+func ReportScenario(w io.Writer, outs []ScenarioOutcome) { experiment.ReportScenario(w, outs) }
+func ReportScenarioList(w io.Writer, scens []Scenario)   { experiment.ReportScenarioList(w, scens) }

@@ -1,15 +1,24 @@
 // Command flowcon-sim regenerates the tables and figures of the FlowCon
-// paper (ICPP 2019) on the deterministic simulation substrate.
+// paper (ICPP 2019) on the deterministic simulation substrate, and runs
+// the scenario engine's arrival-process stress workloads.
 //
 // Usage:
 //
 //	flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
+//	flowcon-sim -scenario-list
+//	flowcon-sim [-parallel N] [-seeds N] [-record dir] -scenario <name[,name...]|all>
+//	flowcon-sim [-workers N] -replay trace.jsonl
 //
 // where <experiment> is one of: fig1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1,
 // table2, all. -parallel N bounds the sweep worker pool (default
 // GOMAXPROCS; 1 forces serial execution). Output is byte-identical at
 // any pool width — runs land in spec order regardless of interleaving.
+//
+// Scenarios are seeded arrival-process workloads (Poisson, ON/OFF bursts,
+// diurnal cycles, flash crowds, plus the paper's schedules) from the
+// named registry; -record writes each generated schedule as a replayable
+// JSONL trace and -replay runs such a trace (generated or hand-written).
 package main
 
 import (
@@ -30,9 +39,54 @@ func main() {
 	csvDir := flag.String("csv", "", "also export figure data as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool width for experiment sweeps (1 = serial)")
+	scenario := flag.String("scenario", "", "run registered scenarios (comma-separated names, or \"all\")")
+	scenarioList := flag.Bool("scenario-list", false, "list the scenario registry and exit")
+	seeds := flag.Int("seeds", 3, "seeds per scenario (1..N)")
+	record := flag.String("record", "", "with -scenario: write each generated schedule as a JSONL trace into this directory")
+	replay := flag.String("replay", "", "run a recorded JSONL trace as a one-off scenario")
+	replayWorkers := flag.Int("workers", 1, "with -replay: cluster size for the replayed trace")
 	flag.Usage = usage
 	flag.Parse()
 	experiment.SetDefaultParallelism(*parallel)
+	// Each mode accepts only its own flags; anything else is refused
+	// rather than silently dropped.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	mode, allowed := "experiment", map[string]bool{"csv": true, "parallel": true}
+	switch {
+	case *scenarioList:
+		mode, allowed = "-scenario-list", map[string]bool{"scenario-list": true}
+	case *replay != "":
+		mode, allowed = "-replay", map[string]bool{"replay": true, "workers": true, "parallel": true}
+	case *scenario != "":
+		mode, allowed = "-scenario", map[string]bool{"scenario": true, "seeds": true, "record": true, "parallel": true}
+	}
+	for name := range set {
+		if !allowed[name] {
+			fmt.Fprintf(os.Stderr, "flowcon-sim: flag -%s does not apply in %s mode\n", name, mode)
+			os.Exit(2)
+		}
+	}
+	if mode != "experiment" && flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "flowcon-sim: %s mode takes no experiment arguments (got %q)\n", mode, flag.Args())
+		os.Exit(2)
+	}
+	if *scenarioList {
+		runScenarioList()
+		return
+	}
+	if *replay != "" {
+		runReplay(*replay, *replayWorkers)
+		return
+	}
+	if *scenario != "" {
+		if *seeds <= 0 {
+			fmt.Fprintln(os.Stderr, "flowcon-sim: -seeds must be positive")
+			os.Exit(2)
+		}
+		runScenarios(resolveScenarios(*scenario), experiment.ScenarioSeeds(*seeds), *record)
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -75,6 +129,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
+       flowcon-sim -scenario-list
+       flowcon-sim [-parallel N] [-seeds N] [-record dir] -scenario <name[,...]|all>
+       flowcon-sim [-workers N] -replay trace.jsonl
 
 experiments:
   fig1      training progress of five models (motivation)

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+// runScenarioList prints the registry.
+func runScenarioList() {
+	experiment.ReportScenarioList(os.Stdout, experiment.Scenarios())
+}
+
+// resolveScenarios expands a comma-separated -scenario value ("all" =
+// whole registry) into scenario definitions, exiting on unknown names.
+func resolveScenarios(arg string) []experiment.Scenario {
+	if strings.EqualFold(arg, "all") {
+		return experiment.Scenarios()
+	}
+	var scens []experiment.Scenario
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, ok := experiment.ScenarioByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "flowcon-sim: unknown scenario %q (try -scenario-list)\n", name)
+			os.Exit(2)
+		}
+		scens = append(scens, s)
+	}
+	if len(scens) == 0 {
+		fmt.Fprintln(os.Stderr, "flowcon-sim: -scenario needs at least one name")
+		os.Exit(2)
+	}
+	return scens
+}
+
+// runScenarios executes the selected scenarios across the sweep pool and
+// renders the summary table. With -record dir it also writes each
+// (scenario, seed) schedule as a replayable JSONL trace; the recorded
+// schedules are the ones simulated — generation happens once and the
+// specs reuse it — so a trace always reproduces the run it sits next to.
+func runScenarios(scens []experiment.Scenario, seeds []int64, recordDir string) {
+	if recordDir != "" {
+		if err := os.MkdirAll(recordDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+			os.Exit(1)
+		}
+		for i, s := range scens {
+			generated := make(map[int64][]workload.Submission, len(seeds))
+			for _, seed := range seeds {
+				subs := s.Workload(seed)
+				generated[seed] = subs
+				path := filepath.Join(recordDir, fmt.Sprintf("%s-seed%d.jsonl", s.Name, seed))
+				if err := recordTrace(path, subs); err != nil {
+					fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+					os.Exit(1)
+				}
+			}
+			inner := s.Workload
+			scens[i].Workload = func(seed int64) []workload.Submission {
+				if subs, ok := generated[seed]; ok {
+					return subs
+				}
+				return inner(seed)
+			}
+		}
+		fmt.Printf("recorded %d trace(s) into %s\n", len(scens)*len(seeds), recordDir)
+	}
+	outs, err := experiment.RunScenarios(context.Background(), scens, seeds, experiment.SweepOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+		os.Exit(1)
+	}
+	experiment.ReportScenario(os.Stdout, outs)
+}
+
+// recordTrace writes one schedule as a JSONL trace file. Record is
+// all-or-nothing (it validates the whole schedule before writing), so a
+// rejected schedule leaves no partial trace; the empty file from a
+// failed create/record is removed.
+func recordTrace(path string, subs []workload.Submission) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.Record(f, subs); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// runReplay loads a recorded (or hand-written) JSONL trace and runs it as
+// a one-off scenario under the default FlowCon setting.
+func runReplay(path string, workers int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+		os.Exit(1)
+	}
+	subs, err := workload.Replay(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+		os.Exit(1)
+	}
+	name := filepath.Base(path)
+	scen := experiment.Scenario{
+		Name:        "replay:" + name,
+		Description: "replayed trace " + path,
+		Workload:    func(int64) []workload.Submission { return subs },
+		Workers:     workers,
+	}
+	outs, err := experiment.RunScenarios(context.Background(), []experiment.Scenario{scen},
+		[]int64{1}, experiment.SweepOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %s: %d jobs\n", path, len(subs))
+	experiment.ReportScenario(os.Stdout, outs)
+}

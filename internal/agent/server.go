@@ -128,7 +128,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("name and model are required"))
 		return
 	}
-	profile, ok := lookupModel(req.Model)
+	profile, ok := dlmodel.Find(req.Model)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown model %q", req.Model))
 		return
@@ -173,16 +173,6 @@ func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusInternalServerError, err)
 	}
-}
-
-// lookupModel resolves a catalog key without panicking on a miss.
-func lookupModel(key string) (dlmodel.Profile, bool) {
-	for _, p := range dlmodel.Catalog() {
-		if p.Key() == key {
-			return p, true
-		}
-	}
-	return dlmodel.Profile{}, false
 }
 
 // writeJSON writes a JSON response with status code.

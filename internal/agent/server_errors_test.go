@@ -1,0 +1,246 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/livedock"
+)
+
+// rawAgent spins up an agent and returns its base URL plus the clock, for
+// tests that need to hit the wire below the Client abstraction.
+func rawAgent(t *testing.T) (string, *http.Client, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	node := livedock.NewNodeWithClock(1.0, clk.Now)
+	srv := httptest.NewServer(NewServer(node, 1.0).Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL, srv.Client(), clk
+}
+
+// post sends a raw body and returns status plus decoded error envelope
+// (empty when the body is not an error envelope).
+func post(t *testing.T, hc *http.Client, url, body string) (int, string) {
+	t.Helper()
+	resp, err := hc.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorBody
+	_ = json.Unmarshal(raw, &env)
+	return resp.StatusCode, env.Error
+}
+
+// Malformed JSON bodies are rejected with 400 and a JSON error envelope,
+// never a panic or a silent 200.
+func TestMalformedJSONBodies(t *testing.T) {
+	url, hc, _ := rawAgent(t)
+	launch := func(id string) string {
+		c := NewClient(url, hc)
+		cid, err := c.Launch("seed-"+id, "RNN-GRU (Tensorflow)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cid
+	}
+	id := launch("a")
+	cases := []struct {
+		name, path, body string
+	}{
+		{"launch truncated", "/v1/containers", `{"name":"x","model":`},
+		{"launch not json", "/v1/containers", `not json at all`},
+		{"launch wrong types", "/v1/containers", `{"name":7,"model":true}`},
+		{"launch empty body", "/v1/containers", ``},
+		{"update truncated", "/v1/containers/" + id + "/update", `{"cpu_limit":`},
+		{"update wrong type", "/v1/containers/" + id + "/update", `{"cpu_limit":"half"}`},
+		{"update empty body", "/v1/containers/" + id + "/update", ``},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, msg := post(t, hc, url+tc.path, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", status)
+			}
+			if msg == "" {
+				t.Fatal("error envelope missing")
+			}
+		})
+	}
+}
+
+// Unknown container IDs map to 404 on update and stop, and the path
+// variable is taken verbatim (no normalization surprises).
+func TestUnknownContainerIDs(t *testing.T) {
+	url, hc, _ := rawAgent(t)
+	for _, id := range []string{"ghost", "worker-0-c99", "%20", "a+b"} {
+		status, msg := post(t, hc, url+"/v1/containers/"+id+"/update", `{"cpu_limit":0.5}`)
+		if status != http.StatusNotFound {
+			t.Fatalf("update %q: status %d (%s), want 404", id, status, msg)
+		}
+		status, msg = post(t, hc, url+"/v1/containers/"+id+"/stop", `{}`)
+		if status != http.StatusNotFound {
+			t.Fatalf("stop %q: status %d (%s), want 404", id, status, msg)
+		}
+	}
+}
+
+// Wrong methods on the routes 405 via the method-aware mux patterns.
+func TestMethodNotAllowed(t *testing.T) {
+	url, hc, _ := rawAgent(t)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodDelete, "/v1/containers"},
+		{http.MethodPost, "/v1/ping"},
+		{http.MethodGet, "/v1/containers/x/update"},
+	} {
+		req, err := http.NewRequest(tc.method, url+tc.path, bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+// Error responses carry the JSON content type so clients can always
+// decode the envelope.
+func TestErrorResponsesAreJSON(t *testing.T) {
+	url, hc, _ := rawAgent(t)
+	resp, err := hc.Post(url+"/v1/containers", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+}
+
+// Concurrent updates against one container race the node's internal
+// state; under -race this verifies the server/node locking, and the final
+// limit must be one of the written values.
+func TestConcurrentUpdatesSameContainer(t *testing.T) {
+	url, hc, clk := rawAgent(t)
+	c := NewClient(url, hc)
+	id, err := c.Launch("racy", "MNIST (Tensorflow)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const updates = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < updates; i++ {
+				limit := float64(w+1) / (writers + 1)
+				if err := c.SetCPULimit(id, limit); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	clk.Advance(time.Second)
+	list, err := c.Containers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("%d containers, want 1", len(list))
+	}
+	got := list[0].CPULimit
+	valid := false
+	for w := 0; w < writers; w++ {
+		if got == float64(w+1)/(writers+1) {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("final limit %g is not any written value", got)
+	}
+}
+
+// Launches, updates, stats, and stops race across many containers; the
+// node must stay consistent (every launch visible exactly once).
+func TestConcurrentMixedTraffic(t *testing.T) {
+	url, hc, clk := rawAgent(t)
+	const n = 12
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(url, hc)
+			id, err := c.Launch(fmt.Sprintf("job-%d", i), "RNN-GRU (Tensorflow)")
+			if err != nil {
+				t.Errorf("launch %d: %v", i, err)
+				return
+			}
+			ids[i] = id
+			if err := c.SetCPULimit(id, 0.25); err != nil {
+				t.Errorf("update %d: %v", i, err)
+			}
+			if _, err := c.Ping(); err != nil {
+				t.Errorf("ping %d: %v", i, err)
+			}
+			c.RunningStats()
+		}(i)
+	}
+	wg.Wait()
+	clk.Advance(time.Second)
+	c := NewClient(url, hc)
+	list, err := c.Containers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != n {
+		t.Fatalf("%d containers visible, want %d", len(list), n)
+	}
+	seen := map[string]bool{}
+	for _, info := range list {
+		if seen[info.ID] {
+			t.Fatalf("container %s listed twice", info.ID)
+		}
+		seen[info.ID] = true
+		if info.CPULimit != 0.25 {
+			t.Fatalf("container %s limit %g, want 0.25", info.ID, info.CPULimit)
+		}
+	}
+	// Concurrent stops: every stop must succeed exactly once.
+	var stopWG sync.WaitGroup
+	for _, id := range ids {
+		stopWG.Add(1)
+		go func(id string) {
+			defer stopWG.Done()
+			if err := c.Stop(id); err != nil {
+				t.Errorf("stop %s: %v", id, err)
+			}
+		}(id)
+	}
+	stopWG.Wait()
+	if pong, err := c.Ping(); err != nil || pong.Running != 0 {
+		t.Fatalf("after stops: pong=%+v err=%v", pong, err)
+	}
+}

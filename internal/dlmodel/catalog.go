@@ -1,6 +1,9 @@
 package dlmodel
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // The catalog reproduces Table 1 of the paper plus the two extra
 // TensorFlow models from Figure 1 (CNN-LSTM and Logistic Regression).
@@ -227,14 +230,31 @@ func Catalog() []Profile {
 	}
 }
 
+// catalogByKey indexes the (immutable) catalog once; Find runs on hot
+// paths — per trace line in Replay/Record, per HTTP launch in the agent.
+var catalogByKey = sync.OnceValue(func() map[string]Profile {
+	idx := make(map[string]Profile)
+	for _, p := range Catalog() {
+		idx[p.Key()] = p
+	}
+	return idx
+})
+
+// Find returns the catalog profile whose Key() matches, e.g.
+// "MNIST (Tensorflow)", and whether it exists. Use it when the key comes
+// from untrusted input (wire requests, replayed trace files).
+func Find(key string) (Profile, bool) {
+	p, ok := catalogByKey()[key]
+	return p, ok
+}
+
 // ByKey returns the catalog profile whose Key() matches, e.g.
 // "MNIST (Tensorflow)". It panics on an unknown key — experiment
 // definitions are static, so a miss is a programming error.
 func ByKey(key string) Profile {
-	for _, p := range Catalog() {
-		if p.Key() == key {
-			return p
-		}
+	p, ok := Find(key)
+	if !ok {
+		panic(fmt.Sprintf("dlmodel: unknown profile key %q", key))
 	}
-	panic(fmt.Sprintf("dlmodel: unknown profile key %q", key))
+	return p
 }

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/dlmodel"
@@ -64,6 +65,92 @@ func ReportSweepResult(w io.Writer, sr *SweepResult) {
 			fmt.Fprintf(w, "    %d (%s): %v\n", r.Index, r.Name, firstLine(r.Err.Error()))
 		}
 	}
+}
+
+// ReportScenario renders the scenario summary table: per scenario the
+// mean job count, mean makespan, mean and 95th-percentile completion
+// times pooled across seeds, and the mean growth-efficiency trajectory
+// sampled at 25/50/75% of each run's makespan.
+func ReportScenario(w io.Writer, outs []ScenarioOutcome) {
+	fmt.Fprintln(w, "Scenario summary (FlowCon)")
+	header := []string{"scenario", "seeds", "jobs", "makespan", "mean-ct", "p95-ct"}
+	for _, f := range geFractions {
+		header = append(header, fmt.Sprintf("GE@%d%%", int(f*100)))
+	}
+	header = append(header, "status")
+	var rows [][]string
+	for _, o := range outs {
+		row := []string{o.Scenario.Name, fmt.Sprintf("%d", len(o.Seeds))}
+		agg, ok := o.aggregate()
+		if !ok {
+			row = append(row, "-", "-", "-", "-")
+			for range geFractions {
+				row = append(row, "-")
+			}
+			row = append(row, fmt.Sprintf("FAILED %d/%d", o.Failed(), len(o.Reports)))
+			rows = append(rows, row)
+			continue
+		}
+		row = append(row,
+			fmt.Sprintf("%.1f", agg.jobs),
+			fmt.Sprintf("%.1f", agg.makespan),
+			orDash(agg.meanCT, "%.1f"),
+			orDash(agg.p95CT, "%.1f"),
+		)
+		for _, g := range agg.ge {
+			row = append(row, orDash(g, "%.4f"))
+		}
+		status := "ok"
+		switch {
+		case o.Failed() > 0:
+			status = fmt.Sprintf("FAILED %d/%d", o.Failed(), len(o.Reports))
+		case agg.dropped:
+			status = "jobs dropped"
+		case !agg.finished:
+			status = "horizon hit"
+		}
+		row = append(row, status)
+		rows = append(rows, row)
+	}
+	plot.Table(w, header, rows)
+}
+
+// orDash formats a statistic, rendering the NaN "no sample" marker as "-".
+func orDash(v float64, format string) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// ReportScenarioList renders the registry for -scenario-list.
+func ReportScenarioList(w io.Writer, scens []Scenario) {
+	fmt.Fprintln(w, "Registered scenarios")
+	var rows [][]string
+	for _, s := range scens {
+		workers := s.Workers
+		if workers == 0 {
+			workers = 1
+		}
+		placement := s.PlacementName
+		if placement == "" {
+			if s.Placement != nil {
+				// An unlabelled custom placement must not masquerade as
+				// the default.
+				placement = "custom"
+			} else {
+				placement = "least-loaded"
+			}
+		}
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", workers),
+			placement,
+			s.Setting().Label(),
+			s.Description,
+		})
+	}
+	plot.Table(w, []string{"name", "workers", "placement", "setting", "description"}, rows)
 }
 
 // firstLine trims a multi-line error (panic traces) for table display.

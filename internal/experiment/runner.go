@@ -70,7 +70,12 @@ type Result struct {
 	Policy   string
 	Jobs     []metrics.JobRecord
 	Makespan float64
-	// Completed is false if the horizon was hit before all jobs finished.
+	// Submitted is how many jobs the schedule submitted. It can exceed
+	// len(Jobs): jobs still waiting in the manager's admission queue when
+	// the horizon hit were never placed and have no record.
+	Submitted int
+	// Completed is false if the horizon was hit before every submitted
+	// job was placed and finished.
 	Completed bool
 	// Collector retains the full traces for figure rendering.
 	Collector *metrics.Collector
@@ -221,7 +226,12 @@ func RunE(spec Spec) (*Result, error) {
 		Policy:    policies[0].Name(),
 		Jobs:      collector.Jobs(),
 		Makespan:  collector.Makespan(),
-		Completed: collector.AllFinished(),
+		Submitted: manager.Submitted(),
+		// Complete means every submitted job was placed (a submission whose
+		// arrival lies past the horizon never fires and is invisible to
+		// both the collector and the manager queue) and ran to completion.
+		Completed: collector.AllFinished() && manager.Queued() == 0 &&
+			manager.Submitted() == len(collector.Jobs()),
 		Collector: collector,
 		Requeued:  manager.Requeued(),
 	}

@@ -1,0 +1,366 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scenario is a named, registered workload family: a seeded generator
+// plus the cluster shape and FlowCon setting it runs under. Scenarios
+// turn the repo from a figure regenerator into a stress harness — the
+// built-ins cover the arrival patterns a production cluster would see
+// (steady Poisson, ON/OFF bursts, diurnal cycles, flash crowds) beyond
+// the paper's three evaluation workloads.
+type Scenario struct {
+	// Name is the registry key (flowcon-sim -scenario <name>).
+	Name string
+	// Description is the one-line summary shown by -scenario-list.
+	Description string
+	// Workload generates the seed's arrival schedule. Required; must be
+	// a pure function of the seed.
+	Workload func(seed int64) []workload.Submission
+	// Workers is the cluster size (default 1).
+	Workers int
+	// Placement selects workers (nil = cluster.LeastLoaded).
+	Placement cluster.Placement
+	// PlacementName labels the placement in listings (default
+	// "least-loaded").
+	PlacementName string
+	// Alpha and Itval are the FlowCon setting (defaults 0.03 / 30, the
+	// paper's best observed configuration).
+	Alpha, Itval float64
+	// MaxContainersPerWorker caps per-node admission (0 = unlimited);
+	// overflow queues at the manager.
+	MaxContainersPerWorker int
+	// Horizon overrides the simulated-time safety cap (0 = default).
+	Horizon float64
+}
+
+// Setting returns the scenario's effective FlowCon setting.
+func (s Scenario) Setting() Setting {
+	alpha, itval := s.Alpha, s.Itval
+	if alpha == 0 {
+		alpha = 0.03
+	}
+	if itval == 0 {
+		itval = 30
+	}
+	return Setting{Alpha: alpha, Itval: itval}
+}
+
+// Spec expands the scenario into one runnable Spec for the seed.
+func (s Scenario) Spec(seed int64) Spec {
+	setting := s.Setting()
+	return Spec{
+		Name:                   fmt.Sprintf("%s [seed=%d %s]", s.Name, seed, setting.Label()),
+		NewPolicy:              FlowConPolicy(setting.Alpha, setting.Itval),
+		Submissions:            s.Workload(seed),
+		Workers:                s.Workers,
+		Placement:              s.Placement,
+		MaxContainersPerWorker: s.MaxContainersPerWorker,
+		Horizon:                s.Horizon,
+	}
+}
+
+// validate rejects unusable scenario definitions — RegisterScenario is a
+// user extension point, so out-of-domain knobs fail here with a named
+// field instead of surfacing as a meaningless simulation.
+func (s Scenario) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("experiment: scenario without name")
+	}
+	if s.Workload == nil {
+		return fmt.Errorf("experiment: scenario %q without workload generator", s.Name)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("experiment: scenario %q has negative worker count %d", s.Name, s.Workers)
+	}
+	if math.IsNaN(s.Alpha) || s.Alpha < 0 || s.Alpha >= 1 {
+		return fmt.Errorf("experiment: scenario %q alpha %g outside [0, 1) (0 = default)", s.Name, s.Alpha)
+	}
+	if math.IsNaN(s.Itval) || math.IsInf(s.Itval, 0) || s.Itval < 0 {
+		return fmt.Errorf("experiment: scenario %q itval %g must be a finite non-negative interval (0 = default)", s.Name, s.Itval)
+	}
+	if math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) || s.Horizon < 0 {
+		return fmt.Errorf("experiment: scenario %q horizon %g must be finite and non-negative (0 = default)", s.Name, s.Horizon)
+	}
+	if s.MaxContainersPerWorker < 0 {
+		return fmt.Errorf("experiment: scenario %q has negative container cap %d", s.Name, s.MaxContainersPerWorker)
+	}
+	return nil
+}
+
+// The scenario registry. Built-ins register at init; callers add custom
+// scenarios with RegisterScenario (see the README's worked example).
+var (
+	scenarioMu  sync.Mutex
+	scenarioReg = make(map[string]Scenario)
+)
+
+// RegisterScenario adds a scenario to the registry. It rejects invalid
+// definitions and duplicate names.
+func RegisterScenario(s Scenario) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioReg[s.Name]; dup {
+		return fmt.Errorf("experiment: scenario %q already registered", s.Name)
+	}
+	scenarioReg[s.Name] = s
+	return nil
+}
+
+// mustRegisterScenario registers a built-in, panicking on conflicts —
+// a broken built-in table is a programming error.
+func mustRegisterScenario(s Scenario) {
+	if err := RegisterScenario(s); err != nil {
+		panic(err.Error())
+	}
+}
+
+// ScenarioByName looks up a registered scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	s, ok := scenarioReg[name]
+	return s, ok
+}
+
+// Scenarios returns every registered scenario sorted by name, so listings
+// and sweeps over the registry are deterministic.
+func Scenarios() []Scenario {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	out := make([]Scenario, 0, len(scenarioReg))
+	for _, s := range scenarioReg {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioSeeds returns the default seed set {1..n} used by the CLI.
+func ScenarioSeeds(n int) []int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("experiment: seed count %d must be positive", n))
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+func init() {
+	catalog := workload.CatalogMix()
+
+	mustRegisterScenario(Scenario{
+		Name:        "fixed",
+		Description: "paper §5.3 administrator schedule: VAE@0s, MNIST-PT@40s, MNIST-TF@80s",
+		Workload:    func(int64) []workload.Submission { return workload.FixedSchedule() },
+		Alpha:       0.05, Itval: 20,
+	})
+	mustRegisterScenario(Scenario{
+		Name:        "uniform5",
+		Description: "paper §5.4 mix: 5 models at uniform times in 200s",
+		Workload:    workload.RandomFive,
+	})
+	// Each process is declared once and feeds both the generator and the
+	// -scenario-list description, so the listing can never drift from the
+	// rates actually simulated.
+	poisson := workload.Poisson{Rate: 0.04, WindowSec: 200, MaxJobs: 20}
+	mustRegisterScenario(Scenario{
+		Name:        "poisson",
+		Description: "steady production traffic: " + poisson.Describe(),
+		Workload:    workload.Generator{Process: poisson, Mix: catalog, MinJobs: 2}.Generate,
+	})
+	bursty := workload.OnOff{OnRate: 0.2, OnSec: 20, OffSec: 70, WindowSec: 290, MaxJobs: 24}
+	mustRegisterScenario(Scenario{
+		Name:        "bursty",
+		Description: "queue-flush bursts on 2 spread workers: " + bursty.Describe(),
+		Workload:    workload.Generator{Process: bursty, Mix: catalog, MinJobs: 2}.Generate,
+		Workers:     2,
+	})
+	diurnal := workload.Diurnal{BaseRate: 0.03, Amplitude: 0.9, PeriodSec: 300, WindowSec: 600, MaxJobs: 30}
+	mustRegisterScenario(Scenario{
+		Name:        "diurnal",
+		Description: "compressed day/night cycle on 4 spread workers: " + diurnal.Describe(),
+		Workload:    workload.Generator{Process: diurnal, Mix: catalog, MinJobs: 4}.Generate,
+		Workers:     4,
+	})
+	flashcrowd := workload.FlashCrowd{BaseRate: 0.01, SpikeAt: 120, SpikeSec: 30, SpikeRate: 0.3,
+		WindowSec: 300, MaxJobs: 24}
+	mustRegisterScenario(Scenario{
+		Name:                   "flashcrowd",
+		Description:            "retry-storm spike, 4 consolidated workers with admission cap: " + flashcrowd.Describe(),
+		Workload:               workload.Generator{Process: flashcrowd, Mix: catalog, MinJobs: 4}.Generate,
+		Workers:                4,
+		Placement:              cluster.BinPackMemory,
+		PlacementName:          "binpack-memory",
+		MaxContainersPerWorker: 4,
+	})
+}
+
+// ScenarioOutcome is one scenario's slice of a scenario sweep: the per-
+// seed run reports in seed order.
+type ScenarioOutcome struct {
+	Scenario Scenario
+	Seeds    []int64
+	Reports  []RunReport
+}
+
+// Results returns the successful per-seed results in seed order.
+func (o ScenarioOutcome) Results() []*Result {
+	out := make([]*Result, 0, len(o.Reports))
+	for _, r := range o.Reports {
+		if r.Result != nil {
+			out = append(out, r.Result)
+		}
+	}
+	return out
+}
+
+// Failed returns how many seeds errored.
+func (o ScenarioOutcome) Failed() int {
+	n := 0
+	for _, r := range o.Reports {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RunScenarios executes every (scenario, seed) pair across the shared
+// sweep pool and regroups the spec-ordered reports per scenario. Results
+// are deterministic at any pool width: workload generation is a pure
+// function of the seed and each run has its own engine.
+func RunScenarios(ctx context.Context, scens []Scenario, seeds []int64, opts SweepOptions) ([]ScenarioOutcome, error) {
+	if len(scens) == 0 {
+		return nil, fmt.Errorf("experiment: no scenarios to run")
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds to run")
+	}
+	for _, s := range scens {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+	}
+	specs := make([]Spec, 0, len(scens)*len(seeds))
+	for _, s := range scens {
+		for _, seed := range seeds {
+			specs = append(specs, s.Spec(seed))
+		}
+	}
+	sr, err := Sweep(ctx, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]ScenarioOutcome, len(scens))
+	for i, s := range scens {
+		outs[i] = ScenarioOutcome{
+			Scenario: s,
+			Seeds:    seeds,
+			Reports:  sr.Runs[i*len(seeds) : (i+1)*len(seeds)],
+		}
+	}
+	return outs, nil
+}
+
+// geFractions are the makespan fractions at which ReportScenario samples
+// the mean growth-efficiency trajectory.
+var geFractions = []float64{0.25, 0.50, 0.75}
+
+// scenarioRow aggregates one outcome for the summary table.
+type scenarioRow struct {
+	jobs     float64   // mean jobs per seed
+	makespan float64   // mean across seeds
+	meanCT   float64   // mean completion time, pooled over seeds
+	p95CT    float64   // 95th percentile completion time, pooled
+	ge       []float64 // mean G at each geFraction
+	finished bool      // every job in every seed finished
+	dropped  bool      // some submitted jobs were never placed
+}
+
+// aggregate computes the row over an outcome's successful results.
+func (o ScenarioOutcome) aggregate() (scenarioRow, bool) {
+	results := o.Results()
+	if len(results) == 0 {
+		return scenarioRow{}, false
+	}
+	row := scenarioRow{finished: true, ge: make([]float64, len(geFractions))}
+	var cts []float64
+	geSum := make([]float64, len(geFractions))
+	geN := make([]int, len(geFractions))
+	for _, res := range results {
+		// Count what was submitted, not just what was placed — jobs still
+		// queued at the horizon must not vanish from the stress report.
+		row.jobs += float64(res.Submitted)
+		row.makespan += res.Makespan
+		if !res.Completed {
+			row.finished = false
+		}
+		if res.Submitted > len(res.Jobs) {
+			row.finished = false
+			row.dropped = true
+		}
+		for _, j := range res.Jobs {
+			if j.Finished {
+				cts = append(cts, j.CompletionTime())
+			}
+			g := res.Collector.GrowthSeries(j.Name)
+			if g == nil || g.Len() == 0 {
+				continue
+			}
+			for k, f := range geFractions {
+				t := f * res.Makespan
+				if t < j.StartedAt || (j.Finished && t > j.FinishedAt) {
+					continue // job not alive at this point of the run
+				}
+				if g.Points()[0].T > t {
+					// Alive but not yet measured (first sample lands ~itval
+					// after start); Series.At would report a false zero.
+					continue
+				}
+				geSum[k] += g.At(t)
+				geN[k]++
+			}
+		}
+	}
+	row.jobs /= float64(len(results))
+	row.makespan /= float64(len(results))
+	if len(cts) > 0 {
+		sort.Float64s(cts)
+		sum := 0.0
+		for _, v := range cts {
+			sum += v
+		}
+		row.meanCT = sum / float64(len(cts))
+		row.p95CT = stats.Quantile(cts, 0.95)
+	} else {
+		// No job finished in any seed: NaN renders as "-" instead of a
+		// fabricated 0.0 completion time.
+		row.meanCT = math.NaN()
+		row.p95CT = math.NaN()
+	}
+	for k := range geFractions {
+		if geN[k] > 0 {
+			row.ge[k] = geSum[k] / float64(geN[k])
+		} else {
+			// No job was alive at this makespan fraction: NaN marks "no
+			// sample" so the report renders "-" instead of a false zero.
+			row.ge[k] = math.NaN()
+		}
+	}
+	return row, true
+}

@@ -1,0 +1,121 @@
+package flowcon
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPlanLimits throws arbitrary container pools and configurations at
+// Algorithm 1 and checks the planner's safety invariants:
+//
+//   - every planned soft limit is positive (docker update rejects zero or
+//     negative quotas) and never exceeds one node (the paper's limits are
+//     fractions of a single worker);
+//   - the decisions are an exact partition: every input container appears
+//     exactly once, classified into NL, WL, or CL;
+//   - measured containers' planned limits never oversubscribe the node
+//     beyond the algorithm's documented slack — growth shares sum to at
+//     most capacity 1.0, and only the CL floor 1/(β·n) (at most 1/β in
+//     aggregate, Algorithm 1 line 22) and the MinLimit safety clamp (at
+//     most n·MinLimit) can push the plan past it. Two cases are exempt by
+//     design: unmeasured new arrivals get the full limit at launch (the
+//     paper's observed behaviour), and a pool whose measured growth sums
+//     to zero falls back to free competition — which the fuzzer pins down
+//     by requiring every such limit to be exactly 1;
+//   - the all-Completing back-off lifts every limit to exactly 1.
+//
+// Snapshots are decoded from the raw fuzz bytes (3 per container: list,
+// G mantissa, flags) so the corpus explores degenerate pools — all-new,
+// all-completing, zero growth, single container — not just well-formed
+// ones.
+func FuzzPlanLimits(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 1, 200, 0, 2, 0, 1}, uint16(50), uint8(20), uint16(1))
+	f.Add([]byte{2, 0, 0, 2, 0, 0, 2, 0, 0}, uint16(100), uint8(10), uint16(10))
+	f.Add([]byte{0, 0, 1, 1, 0, 1, 2, 0, 1}, uint16(30), uint8(5), uint16(100))
+	f.Add([]byte{1, 255, 0}, uint16(150), uint8(40), uint16(500))
+	f.Add([]byte{}, uint16(10), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, alphaMil uint16, betaTenths uint8, minMil uint16) {
+		cfg := Config{
+			Alpha:           float64(alphaMil%999+1) / 1000, // (0, 1)
+			Beta:            float64(betaTenths%100+1) / 10, // (0, 10]
+			InitialInterval: 20,
+			MinLimit:        float64(minMil%1000+1) / 1000, // (0, 1]
+		}
+
+		var snaps []JobSnapshot
+		for i := 0; i+2 < len(data) && len(snaps) < 64; i += 3 {
+			snaps = append(snaps, JobSnapshot{
+				ID:       "c-" + string(rune('0'+len(snaps)%10)) + string(rune('a'+len(snaps)/10)),
+				List:     List(int(data[i]) % 3),
+				G:        float64(data[i+1]) / 64, // [0, ~4): spans both sides of any alpha
+				GDefined: data[i+2]%2 == 0,
+			})
+		}
+
+		res := Step(snaps, cfg)
+
+		if len(res.Decisions) != len(snaps) {
+			t.Fatalf("%d snapshots produced %d decisions", len(snaps), len(res.Decisions))
+		}
+		seen := make(map[string]bool, len(snaps))
+		byID := make(map[string]JobSnapshot, len(snaps))
+		sumG := 0.0
+		for _, s := range snaps {
+			byID[s.ID] = s
+			if s.GDefined {
+				sumG += s.G
+			}
+		}
+		plannedSum := 0.0
+		completing := 0
+		for _, d := range res.Decisions {
+			if seen[d.ID] {
+				t.Fatalf("container %s decided twice", d.ID)
+			}
+			seen[d.ID] = true
+			snap, ok := byID[d.ID]
+			if !ok {
+				t.Fatalf("decision for unknown container %s", d.ID)
+			}
+			if d.List != NewList && d.List != WatchingList && d.List != CompletingList {
+				t.Fatalf("container %s left the NL/WL/CL partition: %v", d.ID, d.List)
+			}
+			if d.List == CompletingList {
+				completing++
+			}
+			if d.SetLimit {
+				if math.IsNaN(d.Limit) || d.Limit <= 0 {
+					t.Fatalf("container %s planned non-positive limit %g", d.ID, d.Limit)
+				}
+				if d.Limit > 1 {
+					t.Fatalf("container %s planned limit %g above node capacity", d.ID, d.Limit)
+				}
+				if res.AllCompleting && d.Limit != 1 {
+					t.Fatalf("all-completing back-off left %s at %g, want full limit", d.ID, d.Limit)
+				}
+				if snap.GDefined && !res.AllCompleting {
+					if sumG <= 0 {
+						// Degenerate pool: zero measured growth means no
+						// information, and the plan reverts to free
+						// competition at exactly the full limit.
+						if d.Limit != 1 {
+							t.Fatalf("zero-growth pool planned %g for %s, want full limit", d.Limit, d.ID)
+						}
+					} else {
+						plannedSum += d.Limit
+					}
+				}
+			}
+		}
+		if res.AllCompleting && completing != len(snaps) {
+			t.Fatalf("AllCompleting with %d/%d containers in CL", completing, len(snaps))
+		}
+		if n := len(snaps); n > 0 && !res.AllCompleting {
+			bound := 1 + 1/cfg.Beta + float64(n)*cfg.MinLimit + 1e-9
+			if plannedSum > bound {
+				t.Fatalf("planned limits for measured containers sum to %g, above the %g oversubscription bound (n=%d beta=%g min=%g)",
+					plannedSum, bound, n, cfg.Beta, cfg.MinLimit)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+
+	"repro/internal/dlmodel"
+)
+
+// The JSONL trace format: one submission per line, in schedule order,
+// with a fixed field order and Go's canonical (shortest round-trip)
+// float encoding:
+//
+//	{"job":"Job-1","model":"VAE (Pytorch)","at":12.375}
+//
+// Record(Replay(trace)) reproduces a recorded trace byte for byte, so
+// traces can be checked in as golden files, diffed, and replayed into the
+// simulator without drift. Hand-written traces are accepted anywhere
+// Record output is; they become canonical after one Record round trip.
+type traceLine struct {
+	Job   string  `json:"job"`
+	Model string  `json:"model"`
+	At    float64 `json:"at"`
+}
+
+// Record writes the schedule as a JSONL trace. The whole trace is
+// validated and encoded before the first byte reaches w, so a rejected
+// schedule never leaves a truncated-but-replayable prefix behind.
+func Record(w io.Writer, subs []Submission) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	seen := make(map[string]bool, len(subs))
+	for i, s := range subs {
+		if err := validateSubmission(i, s); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("workload: duplicate job %q in schedule", s.Name)
+		}
+		seen[s.Name] = true
+		// A trace is only replayable if the model key resolves to the
+		// identical catalog profile — reject at record time instead of
+		// handing back a file Replay will refuse (or silently reinterpret).
+		if catalog, ok := dlmodel.Find(s.Profile.Key()); !ok || !reflect.DeepEqual(catalog, s.Profile) {
+			return fmt.Errorf("workload: submission %d (%s) uses model %q, which is not a catalog profile — traces can only carry catalog models",
+				i+1, s.Name, s.Profile.Key())
+		}
+		// Encode appends the newline that terminates the JSONL line.
+		if err := enc.Encode(traceLine{Job: s.Name, Model: s.Profile.Key(), At: s.At}); err != nil {
+			return fmt.Errorf("workload: recording line %d: %w", i+1, err)
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Replay parses a JSONL trace back into a schedule. Every model key must
+// resolve in the dlmodel catalog; job names must be unique and non-empty;
+// arrival times must be finite and non-negative. Blank lines are allowed
+// (and dropped — they are not part of the canonical form).
+func Replay(r io.Reader) ([]Submission, error) {
+	var subs []Submission
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var tl traceLine
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&tl); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("workload: trace line %d: trailing data after record", lineNo)
+		}
+		profile, ok := dlmodel.Find(tl.Model)
+		if !ok {
+			return nil, fmt.Errorf("workload: trace line %d: unknown model %q", lineNo, tl.Model)
+		}
+		if seen[tl.Job] {
+			return nil, fmt.Errorf("workload: trace line %d: duplicate job %q", lineNo, tl.Job)
+		}
+		sub := Submission{Name: tl.Job, Profile: profile, At: tl.At}
+		if err := validateSubmission(len(subs), sub); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		}
+		seen[tl.Job] = true
+		subs = append(subs, sub)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("workload: trace has no submissions")
+	}
+	return subs, nil
+}
+
+// validateSubmission rejects schedules the simulator would choke on.
+func validateSubmission(i int, s Submission) error {
+	if s.Name == "" {
+		return fmt.Errorf("submission %d has no job name", i+1)
+	}
+	if s.At < 0 || math.IsNaN(s.At) || math.IsInf(s.At, 0) {
+		return fmt.Errorf("submission %d (%s) arrival %g is not a finite non-negative time", i+1, s.Name, s.At)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dlmodel"
+)
+
+// Record→Replay→Record is byte-identical for generated schedules — the
+// core guarantee that makes traces usable as golden files.
+func TestTraceRoundTripByteIdentical(t *testing.T) {
+	gen := Generator{Process: Poisson{Rate: 0.08, WindowSec: 200}, MinJobs: 3}
+	for seed := int64(1); seed <= 10; seed++ {
+		subs := gen.Generate(seed)
+		var first bytes.Buffer
+		if err := Record(&first, subs); err != nil {
+			t.Fatalf("seed %d: record: %v", seed, err)
+		}
+		replayed, err := Replay(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if !reflect.DeepEqual(subs, replayed) {
+			t.Fatalf("seed %d: replay diverged from the original schedule", seed)
+		}
+		var second bytes.Buffer
+		if err := Record(&second, replayed); err != nil {
+			t.Fatalf("seed %d: re-record: %v", seed, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: round trip not byte-identical:\n%s\nvs\n%s",
+				seed, first.String(), second.String())
+		}
+	}
+}
+
+// The fixed paper schedule round-trips too (hand-writable times).
+func TestTraceRoundTripFixedSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(&buf, FixedSchedule()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"job":"VAE (Pytorch)","model":"VAE (Pytorch)","at":0}
+{"job":"MNIST (Pytorch)","model":"MNIST (Pytorch)","at":40}
+{"job":"MNIST (Tensorflow)","model":"MNIST (Tensorflow)","at":80}
+`
+	if buf.String() != want {
+		t.Fatalf("fixed-schedule trace:\n%q\nwant\n%q", buf.String(), want)
+	}
+	subs, err := Replay(strings.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(subs, FixedSchedule()) {
+		t.Fatal("replayed fixed schedule differs from the generator")
+	}
+}
+
+// Replay tolerates blank lines in hand-written traces.
+func TestReplaySkipsBlankLines(t *testing.T) {
+	in := "\n{\"job\":\"a\",\"model\":\"RNN-GRU (Tensorflow)\",\"at\":1}\n\n" +
+		"{\"job\":\"b\",\"model\":\"RNN-GRU (Tensorflow)\",\"at\":2}\n\n"
+	subs, err := Replay(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 || subs[0].Name != "a" || subs[1].Name != "b" {
+		t.Fatalf("replayed %v", subs)
+	}
+}
+
+// Replay rejects every malformed input with a line-numbered error.
+func TestReplayErrors(t *testing.T) {
+	valid := `{"job":"a","model":"RNN-GRU (Tensorflow)","at":1}`
+	cases := map[string]string{
+		"bad json":       "{not json}",
+		"unknown model":  `{"job":"a","model":"GPT-7 (Pytorch)","at":1}`,
+		"unknown field":  `{"job":"a","model":"RNN-GRU (Tensorflow)","at":1,"x":2}`,
+		"negative time":  `{"job":"a","model":"RNN-GRU (Tensorflow)","at":-5}`,
+		"nan time":       `{"job":"a","model":"RNN-GRU (Tensorflow)","at":"nan"}`,
+		"missing job":    `{"model":"RNN-GRU (Tensorflow)","at":1}`,
+		"duplicate job":  valid + "\n" + valid,
+		"trailing data":  valid + ` {"job":"b"}`,
+		"empty trace":    "\n\n",
+		"array not line": `[` + valid + `]`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Replay(strings.NewReader(in)); err == nil {
+				t.Fatalf("%s accepted:\n%s", name, in)
+			}
+		})
+	}
+}
+
+// Record rejects schedules the simulator would reject later.
+func TestRecordErrors(t *testing.T) {
+	gru := dlmodel.GRU()
+	renamed := gru
+	renamed.Name = "MyCustomNet" // key resolves nowhere in the catalog
+	tweaked := gru
+	tweaked.TotalWork *= 2 // key collides with the catalog but differs
+	cases := map[string][]Submission{
+		"unnamed job":    {{Profile: gru, At: 1}},
+		"negative time":  {{Name: "a", Profile: gru, At: -1}},
+		"duplicate":      {{Name: "a", Profile: gru, At: 1}, {Name: "a", Profile: gru, At: 2}},
+		"custom model":   {{Name: "a", Profile: renamed, At: 1}},
+		"shadowed model": {{Name: "a", Profile: tweaked, At: 1}},
+	}
+	for name, subs := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := Record(&bytes.Buffer{}, subs); err == nil {
+				t.Fatalf("%s accepted", name)
+			}
+		})
+	}
+}
+
+// FuzzReplay feeds arbitrary bytes through Replay: it must never panic,
+// and whenever it accepts an input, the canonical form must round-trip
+// byte-identically from then on.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte(`{"job":"a","model":"RNN-GRU (Tensorflow)","at":1.5}`))
+	f.Add([]byte(`{"job":"VAE (Pytorch)","model":"VAE (Pytorch)","at":0}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"job":"a","model":"nope","at":1}`))
+	f.Add([]byte(`{"at":1e308}`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		subs, err := Replay(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var canon bytes.Buffer
+		if err := Record(&canon, subs); err != nil {
+			t.Fatalf("accepted trace failed to record: %v", err)
+		}
+		again, err := Replay(bytes.NewReader(canon.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon.String())
+		}
+		if !reflect.DeepEqual(subs, again) {
+			t.Fatal("canonical replay diverged")
+		}
+		var second bytes.Buffer
+		if err := Record(&second, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical form unstable:\n%q\nvs\n%q", canon.String(), second.String())
+		}
+	})
+}

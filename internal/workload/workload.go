@@ -1,7 +1,27 @@
-// Package workload generates the job-arrival scenarios of the evaluation:
-// the fixed three-job schedule of Section 5.3, the five-model random
-// schedule of Section 5.4, and the 10/15-job scalability workloads of
-// Section 5.5. Random scenarios are seeded and therefore reproducible.
+// Package workload is the scenario engine's generation layer: job-arrival
+// schedules for the simulator, from the paper's evaluation workloads to
+// composable arrival processes and replayable traces.
+//
+// Three building blocks compose into a schedule:
+//
+//   - an ArrivalProcess (Poisson, OnOff, Diurnal, FlashCrowd,
+//     UniformWindow — or any custom implementation) draws arrival times
+//     in a bounded window;
+//   - a Mix draws each arrival's model from the dlmodel catalog with
+//     weighted sampling;
+//   - a Generator ties both to a seed and labels jobs Job-1..Job-n in
+//     arrival order. Generation is a pure function of the seed, so
+//     results reproduce exactly under the parallel sweep pool.
+//
+// Record and Replay serialize schedules as JSONL traces (one submission
+// per line: {"job":...,"model":...,"at":...}) that round-trip
+// byte-identically, so generated or hand-written schedules can be
+// checked in as golden files and replayed into the simulator.
+//
+// The paper's own workloads remain as direct constructors: the fixed
+// three-job schedule of Section 5.3 (FixedSchedule), the five-model
+// random schedule of Section 5.4 (RandomFive), and the 10/15-job
+// scalability workloads of Section 5.5 (RandomN).
 package workload
 
 import (
