@@ -5,8 +5,10 @@ GO ?= go
 COVER_FLOOR ?= 85
 # Per-target budget for the fuzz smoke run.
 FUZZTIME ?= 20s
+# Per-benchmark budget for bench-json (CI smoke passes 1x).
+BENCHTIME ?= 1s
 
-.PHONY: all build test race bench fmt vet cover fuzz ci
+.PHONY: all build test race bench bench-json fmt vet cover fuzz ci
 
 all: build test
 
@@ -23,6 +25,12 @@ race:
 # the benchmark harness compiling and executable.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Record the perf trajectory: hot-path microbenchmarks (sim, simdocker,
+# flowcon; 16/64/256 containers per node) plus the cluster-scale scenario,
+# written as BENCH_sim.json. See README "Performance".
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_sim.json
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,239 @@
+// Command benchjson records the repo's perf trajectory: it runs the
+// simulation hot-path microbenchmarks (event cancellation, daemon
+// settle/reallocate, Algorithm 1) across the 16/64/256 containers-per-node
+// ladder, runs the cluster-scale scenario end to end, and writes the
+// results as one JSON document (BENCH_sim.json at the repo root).
+//
+// Usage:
+//
+//	benchjson [-out BENCH_sim.json] [-benchtime 1s] [-parallel N]
+//
+// The microbenchmarks go through `go test -bench`, so the recorded numbers
+// are exactly what a developer sees locally; the scenario runs in-process.
+// CI runs this with -benchtime=1x as a smoke check and uploads the
+// artifact, so every PR leaves a comparable perf data point.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// benchPackages are the packages holding the hot-path microbenchmarks.
+var benchPackages = []string{
+	"./internal/sim",
+	"./internal/simdocker",
+	"./internal/flowcon",
+}
+
+// scenarioName is the registered cluster-scale stress scenario.
+const scenarioName = "cluster-scale"
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark id without the GOMAXPROCS suffix,
+	// e.g. "Settle/256".
+	Name string `json:"name"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics carries any custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ScenarioResult is the cluster-scale run's recorded outcome.
+type ScenarioResult struct {
+	Name        string  `json:"name"`
+	Seed        int64   `json:"seed"`
+	Workers     int     `json:"workers"`
+	Jobs        int     `json:"jobs"`
+	MakespanSec float64 `json:"makespan_sec"`
+	Completed   bool    `json:"completed"`
+	// WallSec is the host wall-clock cost of simulating the scenario —
+	// the quantity the perf trajectory tracks.
+	WallSec float64 `json:"wall_sec"`
+	// SimulatedPerWallSec is virtual seconds simulated per wall second.
+	SimulatedPerWallSec float64 `json:"simulated_per_wall_sec"`
+}
+
+// Report is the BENCH_sim.json document.
+type Report struct {
+	SchemaVersion int            `json:"schema_version"`
+	GeneratedAt   string         `json:"generated_at"`
+	GoVersion     string         `json:"go_version"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	BenchTime     string         `json:"benchtime"`
+	Benchmarks    []Benchmark    `json:"benchmarks"`
+	Scenario      ScenarioResult `json:"scenario"`
+}
+
+// benchLine matches `BenchmarkName-8   123   456.7 ns/op  [value unit]...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S+)\s+ns/op(.*)$`)
+
+func main() {
+	out := "BENCH_sim.json"
+	benchtime := "1s"
+	parallel := runtime.GOMAXPROCS(0)
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-out":
+			i++
+			out = args[i]
+		case "-benchtime":
+			i++
+			benchtime = args[i]
+		case "-parallel":
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				fatalf("bad -parallel %q", args[i])
+			}
+			parallel = n
+		default:
+			fatalf("unknown flag %q (usage: benchjson [-out file] [-benchtime 1s] [-parallel N])", args[i])
+		}
+	}
+	experiment.SetDefaultParallelism(parallel)
+
+	rep := Report{
+		SchemaVersion: 1,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		BenchTime:     benchtime,
+	}
+
+	var err error
+	rep.Benchmarks, err = runBenchmarks(benchtime)
+	if err != nil {
+		fatalf("microbenchmarks: %v", err)
+	}
+	rep.Scenario, err = runScenario()
+	if err != nil {
+		fatalf("scenario: %v", err)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Printf("wrote %s: %d benchmarks, scenario %s (%d jobs, %.1fs wall)\n",
+		out, len(rep.Benchmarks), rep.Scenario.Name, rep.Scenario.Jobs, rep.Scenario.WallSec)
+}
+
+// runBenchmarks shells out to `go test -bench` and parses the result
+// lines, tracking the current package from the interleaved `pkg:` header.
+func runBenchmarks(benchtime string) ([]Benchmark, error) {
+	cmd := exec.Command("go", append([]string{
+		"test", "-run", "^$", "-bench", ".", "-benchtime", benchtime,
+	}, benchPackages...)...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	var benches []Benchmark
+	pkg := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.TrimPrefix(m[1], "Benchmark"),
+			Package:    pkg,
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		// Custom metrics follow as `value unit` pairs.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from go test output")
+	}
+	return benches, nil
+}
+
+// runScenario executes the cluster-scale scenario once (seed 1) and
+// records both the simulated outcome and its wall-clock cost.
+func runScenario() (ScenarioResult, error) {
+	scen, ok := experiment.ScenarioByName(scenarioName)
+	if !ok {
+		return ScenarioResult{}, fmt.Errorf("scenario %q not registered", scenarioName)
+	}
+	const seed = 1
+	start := time.Now()
+	outs, err := experiment.RunScenarios(context.Background(),
+		[]experiment.Scenario{scen}, []int64{seed}, experiment.SweepOptions{})
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	wall := time.Since(start).Seconds()
+	rep := outs[0].Reports[0]
+	if rep.Err != nil {
+		return ScenarioResult{}, rep.Err
+	}
+	res := rep.Result
+	sr := ScenarioResult{
+		Name:        scenarioName,
+		Seed:        seed,
+		Workers:     scen.Workers,
+		Jobs:        res.Submitted,
+		MakespanSec: res.Makespan,
+		Completed:   res.Completed,
+		WallSec:     wall,
+	}
+	if wall > 0 {
+		sr.SimulatedPerWallSec = res.Makespan / wall
+	}
+	return sr, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintln(os.Stderr, "benchjson: "+fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

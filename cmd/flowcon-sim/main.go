@@ -19,6 +19,9 @@
 // diurnal cycles, flash crowds, plus the paper's schedules) from the
 // named registry; -record writes each generated schedule as a replayable
 // JSONL trace and -replay runs such a trace (generated or hand-written).
+// The cluster-scale scenario (256 workers, thousands of jobs) is the
+// perf-baseline workload that `make bench-json` records in BENCH_sim.json;
+// see the README's Performance section.
 package main
 
 import (

@@ -392,7 +392,7 @@ func (m *Manager) handleFailure(failed *Worker) {
 			continue
 		}
 		// Only reschedule jobs whose container did not finish.
-		c, err := failed.Daemon().Get(nameToContainer(failed, name))
+		c, err := failed.Daemon().Lookup(name)
 		if err == nil && c.Workload().Done() {
 			continue
 		}
@@ -414,16 +414,6 @@ func (m *Manager) handleFailure(failed *Worker) {
 			m.tryPlace(job)
 		}
 	})
-}
-
-// nameToContainer finds the container id for a job name on a worker.
-func nameToContainer(w *Worker, name string) string {
-	for _, c := range w.Daemon().PS(true) {
-		if c.Name() == name {
-			return c.ID()
-		}
-	}
-	return ""
 }
 
 // sortPending orders pending jobs by name for deterministic rescheduling.

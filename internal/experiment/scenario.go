@@ -208,6 +208,23 @@ func init() {
 		PlacementName:          "binpack-memory",
 		MaxContainersPerWorker: 4,
 	})
+	// cluster-scale is the benchmark-baseline workload: hundreds of
+	// workers and thousands of jobs, steady Poisson traffic with a
+	// flash-crowd spike on top (FlashCrowd = Poisson base + superimposed
+	// burst). It exists to exercise the simulation hot path at the
+	// cluster sizes the ROADMAP's north star targets; `make bench-json`
+	// runs it and records the result in BENCH_sim.json.
+	clusterScale := workload.FlashCrowd{BaseRate: 3, SpikeAt: 600, SpikeSec: 60, SpikeRate: 12,
+		WindowSec: 900, MaxJobs: 5000}
+	mustRegisterScenario(Scenario{
+		Name: "cluster-scale",
+		Description: "perf baseline, 256 workers with admission cap: " +
+			clusterScale.Describe(),
+		Workload:               workload.Generator{Process: clusterScale, Mix: catalog, MinJobs: 256}.Generate,
+		Workers:                256,
+		MaxContainersPerWorker: 16,
+		Horizon:                20000,
+	})
 }
 
 // ScenarioOutcome is one scenario's slice of a scenario sweep: the per-

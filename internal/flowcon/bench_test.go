@@ -1,0 +1,70 @@
+package flowcon
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// poolSizes is the per-node container ladder of the perf trajectory.
+var poolSizes = []int{16, 64, 256}
+
+// BenchmarkAlgorithm1 measures one full executor cycle — measure,
+// classify, plan, apply — over a pool of n containers whose growth keeps
+// them spread across the NL/WL/CL lists. The controller's scratch reuse
+// makes the steady-state cycle allocation-free outside the Step plan.
+func BenchmarkAlgorithm1(b *testing.B) {
+	for _, n := range poolSizes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			e := sim.NewEngine()
+			rt := newFakeRuntime()
+			rt.stats = make([]Stat, n)
+			c := NewController(Config{Alpha: 0.05, InitialInterval: 30}, e, rt, nil)
+			for i := range rt.stats {
+				id := fmt.Sprintf("c%04d", i)
+				rt.stats[i] = Stat{ID: id}
+				c.OnContainerStart(id)
+			}
+			e.Run(0) // drain the arrival-triggered immediate run (ticks self-perpetuate, so bound the horizon)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Advance every container's counters: even ids keep growing
+				// (stay NL), odd ids stall (descend toward CL).
+				for j := range rt.stats {
+					rt.stats[j].CPUSeconds += 1
+					if j%2 == 0 {
+						rt.stats[j].Eval += 1
+					}
+				}
+				e.At(e.Now()+1, sim.PriorityExecutor, "bench", func() {
+					c.runAlgorithm1("tick")
+				})
+				e.Run(e.Now() + 1)
+			}
+		})
+	}
+}
+
+// BenchmarkStep isolates the pure Algorithm 1 plan (no monitor, no
+// runtime) at pool size n.
+func BenchmarkStep(b *testing.B) {
+	for _, n := range poolSizes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			cfg := Config{Alpha: 0.05, InitialInterval: 30}
+			snaps := make([]JobSnapshot, n)
+			for i := range snaps {
+				snaps[i] = JobSnapshot{
+					ID:       fmt.Sprintf("c%04d", i),
+					List:     List(i % 3),
+					G:        float64(i%10) * 0.01,
+					GDefined: true,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Step(snaps, cfg)
+			}
+		})
+	}
+}

@@ -60,6 +60,11 @@ type Controller struct {
 	pendingRun  bool
 	runs        int
 	limitUpdate int
+
+	// snapScratch and liveScratch are reused across runAlgorithm1 calls so
+	// the per-tick hot path allocates nothing in steady state.
+	snapScratch []JobSnapshot
+	liveScratch map[string]bool
 }
 
 // NewController wires a controller to an engine and runtime. Call Start to
@@ -72,14 +77,15 @@ func NewController(cfg Config, engine *sim.Engine, rt Runtime, tracer Tracer) *C
 	monitor := NewMonitor()
 	monitor.SetPrimaryResource(cfg.Resource)
 	return &Controller{
-		cfg:     cfg,
-		engine:  engine,
-		runtime: rt,
-		monitor: monitor,
-		tracer:  tracer,
-		lists:   make(map[string]List),
-		limits:  make(map[string]float64),
-		itval:   cfg.InitialInterval,
+		cfg:         cfg,
+		engine:      engine,
+		runtime:     rt,
+		monitor:     monitor,
+		tracer:      tracer,
+		lists:       make(map[string]List),
+		limits:      make(map[string]float64),
+		itval:       cfg.InitialInterval,
+		liveScratch: make(map[string]bool),
 	}
 }
 
@@ -170,16 +176,19 @@ func (c *Controller) runAlgorithm1(trigger string) {
 	stats := c.runtime.RunningStats()
 	measurements := c.monitor.Collect(float64(c.engine.Now()), stats)
 
-	snaps := make([]JobSnapshot, len(measurements))
-	for i, m := range measurements {
+	c.pruneStale(measurements)
+
+	snaps := c.snapScratch[:0]
+	for _, m := range measurements {
 		list, ok := c.lists[m.ID]
 		if !ok {
 			// Containers that started before the controller (or without
 			// listener wiring) enter as new.
 			list = NewList
 		}
-		snaps[i] = JobSnapshot{ID: m.ID, List: list, G: m.G, GDefined: m.Defined}
+		snaps = append(snaps, JobSnapshot{ID: m.ID, List: list, G: m.G, GDefined: m.Defined})
 	}
+	c.snapScratch = snaps
 
 	res := Step(snaps, c.cfg)
 
@@ -207,6 +216,32 @@ func (c *Controller) runAlgorithm1(trigger string) {
 
 	if c.tracer != nil {
 		c.tracer.RecordRun(c.traceEntry(trigger, res, snaps))
+	}
+}
+
+// pruneStale drops tracking state for containers that vanished from the
+// runtime's stats without a Finished Cons notification — e.g. a worker
+// failure path that kills containers without driving the exit listener.
+// Without this, c.lists/c.limits (and the monitor's samples) grow without
+// bound on long-lived workers.
+func (c *Controller) pruneStale(measurements []Measurement) {
+	if len(c.lists) <= len(measurements) && len(c.limits) <= len(measurements) {
+		return
+	}
+	clear(c.liveScratch)
+	for _, m := range measurements {
+		c.liveScratch[m.ID] = true
+	}
+	for id := range c.lists {
+		if !c.liveScratch[id] {
+			delete(c.lists, id)
+			c.monitor.Forget(id)
+		}
+	}
+	for id := range c.limits {
+		if !c.liveScratch[id] {
+			delete(c.limits, id)
+		}
 	}
 }
 

@@ -254,3 +254,42 @@ func TestNewControllerValidation(t *testing.T) {
 	}()
 	NewController(Config{Alpha: 0.05, InitialInterval: 20}, sim.NewEngine(), nil, nil)
 }
+
+// Containers that vanish from RunningStats without an OnContainerExit
+// notification (e.g. a worker failure path that kills the container behind
+// the listener's back) must not leave entries in lists/limits/monitor
+// forever.
+func TestControllerPrunesStaleEntries(t *testing.T) {
+	e := sim.NewEngine()
+	rt := newFakeRuntime()
+	rt.stats = []Stat{
+		{ID: "a", Eval: 1, CPUSeconds: 1},
+		{ID: "b", Eval: 1, CPUSeconds: 1},
+	}
+	c := NewController(Config{Alpha: 0.05, InitialInterval: 20}, e, rt, nil)
+	c.OnContainerStart("a")
+	c.OnContainerStart("b")
+	c.Start()
+	e.Run(25) // arrival runs at t=0 plus the tick at t=20
+
+	if _, ok := c.ListOf("b"); !ok {
+		t.Fatal("precondition: b not tracked after start")
+	}
+
+	// "b" disappears without an exit notification.
+	rt.stats = []Stat{{ID: "a", Eval: 2, CPUSeconds: 2}}
+	e.Run(45) // next tick at t=40 observes the shrunken pool
+
+	if l, ok := c.ListOf("b"); ok {
+		t.Fatalf("stale container still tracked in %v after pruning tick", l)
+	}
+	if _, ok := c.limits["b"]; ok {
+		t.Fatal("stale container still holds a limit entry")
+	}
+	if _, ok := c.ListOf("a"); !ok {
+		t.Fatal("live container was pruned")
+	}
+	if n := c.monitor.Tracked(); n != 1 {
+		t.Fatalf("monitor tracks %d containers, want 1", n)
+	}
+}

@@ -58,10 +58,42 @@ const allocEps = 1e-12
 // limit, negative demand, duplicate IDs): those are programming errors in a
 // deterministic simulation, not runtime conditions.
 func Allocate(capacity float64, claims []Claim) []Allocation {
+	seen := make(map[string]bool, len(claims))
+	for _, c := range claims {
+		if seen[c.ID] {
+			panic(fmt.Sprintf("resource: duplicate claim id %q", c.ID))
+		}
+		seen[c.ID] = true
+	}
+	var a Allocator
+	return a.Allocate(capacity, claims)
+}
+
+// Allocator computes the same allocation as the package-level Allocate but
+// reuses its scratch buffers across calls, so a simulation hot path (the
+// daemon reallocates on every start/exit/update) allocates nothing in
+// steady state. The returned slice is owned by the Allocator and is valid
+// only until the next Allocate call.
+//
+// Unlike the package-level Allocate, an Allocator does not check for
+// duplicate claim IDs — callers that reuse one are expected to construct
+// claims from a pool whose IDs are unique by construction. All other input
+// validation (capacity, limits, demands) is identical. The zero value is
+// ready to use.
+type Allocator struct {
+	out     []Allocation
+	caps    []float64
+	weights []float64
+	idx     []int
+	fill    []float64
+}
+
+// Allocate divides capacity among the claims with the semantics documented
+// on the package-level Allocate, reusing the Allocator's scratch buffers.
+func (a *Allocator) Allocate(capacity float64, claims []Claim) []Allocation {
 	if capacity < 0 {
 		panic(fmt.Sprintf("resource: negative capacity %g", capacity))
 	}
-	seen := make(map[string]bool, len(claims))
 	for _, c := range claims {
 		if c.Limit <= 0 || c.Limit > 1 {
 			panic(fmt.Sprintf("resource: claim %q has limit %g outside (0,1]", c.ID, c.Limit))
@@ -69,34 +101,44 @@ func Allocate(capacity float64, claims []Claim) []Allocation {
 		if c.Demand < 0 || math.IsNaN(c.Demand) || math.IsInf(c.Demand, 0) {
 			panic(fmt.Sprintf("resource: claim %q has invalid demand %g", c.ID, c.Demand))
 		}
-		if seen[c.ID] {
-			panic(fmt.Sprintf("resource: duplicate claim id %q", c.ID))
-		}
-		seen[c.ID] = true
 	}
 
-	out := make([]Allocation, len(claims))
-	for i, c := range claims {
-		out[i] = Allocation{ID: c.ID, Amount: 0}
+	a.out = a.out[:0]
+	for _, c := range claims {
+		a.out = append(a.out, Allocation{ID: c.ID, Amount: 0})
 	}
 	if capacity == 0 || len(claims) == 0 {
-		return out
+		return a.out
 	}
 
 	// Weighted progressive filling: weights are the limits, caps are the
 	// demands.
-	caps := make([]float64, len(claims))
-	weights := make([]float64, len(claims))
-	for i, c := range claims {
-		caps[i] = math.Min(c.Demand, capacity)
-		weights[i] = c.Limit
+	a.caps = a.caps[:0]
+	a.weights = a.weights[:0]
+	for _, c := range claims {
+		a.caps = append(a.caps, math.Min(c.Demand, capacity))
+		a.weights = append(a.weights, c.Limit)
 	}
-	alloc := waterFill(capacity, caps, weights)
+	a.fill = growFloats(a.fill, len(claims))
+	a.idx = a.idx[:0]
+	a.waterFill(capacity)
 
-	for i := range out {
-		out[i].Amount = alloc[i]
+	for i := range a.out {
+		a.out[i].Amount = a.fill[i]
 	}
-	return out
+	return a.out
+}
+
+// growFloats resizes a scratch float slice to n zeroed entries.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // AllocateMap is Allocate with a map result, convenient for lookups.
@@ -108,31 +150,32 @@ func AllocateMap(capacity float64, claims []Claim) map[string]float64 {
 	return m
 }
 
-// waterFill distributes capacity among entries in proportion to weights,
-// clamping each entry at its cap, and redistributing the remainder among
-// unsaturated entries until either capacity or every cap is exhausted.
+// waterFill distributes capacity among a.caps/a.weights entries into
+// a.fill: capacity flows in proportion to weights, clamped at each entry's
+// cap, with the remainder redistributed among unsaturated entries until
+// either capacity or every cap is exhausted.
 //
 // It runs in O(n log n): entries saturate in increasing order of
-// cap/weight, so one sort suffices.
-func waterFill(capacity float64, caps, weights []float64) []float64 {
+// cap/weight, so one sort suffices. All scratch lives on the Allocator.
+func (a *Allocator) waterFill(capacity float64) {
+	caps, weights := a.caps, a.weights
 	n := len(caps)
-	alloc := make([]float64, n)
 	if capacity <= allocEps || n == 0 {
-		return alloc
+		return
 	}
 
 	// Order entries by the "water level" cap/weight at which they saturate.
-	idx := make([]int, 0, n)
 	totalWeight := 0.0
 	for i := 0; i < n; i++ {
 		if caps[i] <= allocEps || weights[i] <= allocEps {
 			continue
 		}
-		idx = append(idx, i)
+		a.idx = append(a.idx, i)
 		totalWeight += weights[i]
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return caps[idx[a]]/weights[idx[a]] < caps[idx[b]]/weights[idx[b]]
+	idx := a.idx
+	sort.Slice(idx, func(i, j int) bool {
+		return caps[idx[i]]/weights[idx[i]] < caps[idx[j]]/weights[idx[j]]
 	})
 
 	// Walk entries in saturation order. At each step the fill level is
@@ -148,9 +191,8 @@ func waterFill(capacity float64, caps, weights []float64) []float64 {
 		if share > caps[i] {
 			share = caps[i]
 		}
-		alloc[i] = share
+		a.fill[i] = share
 		remaining -= share
 		totalWeight -= weights[i]
 	}
-	return alloc
 }

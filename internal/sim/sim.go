@@ -56,6 +56,7 @@ type Event struct {
 	seq      uint64
 	name     string
 	fn       func()
+	engine   *Engine
 	index    int // heap index; -1 when not queued
 	canceled bool
 }
@@ -69,9 +70,19 @@ func (e *Event) Name() string { return e.name }
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// Cancel prevents the event's callback from running. Canceling an event that
-// already fired or was already canceled is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Cancel prevents the event's callback from running and eagerly removes the
+// event from the engine's queue via its maintained heap index — O(log n),
+// with no tombstone left behind to silt up the heap. Canceling an event
+// that already fired or was already canceled is a no-op.
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.engine != nil {
+		heap.Remove(&e.engine.queue, e.index)
+	}
+}
 
 // eventQueue implements heap.Interface ordered by (at, prio, seq).
 type eventQueue []*Event
@@ -131,8 +142,8 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of scheduled (not yet fired, possibly canceled)
-// events.
+// Len returns the number of scheduled, not yet fired events. Canceled
+// events leave the queue immediately and are not counted.
 func (e *Engine) Len() int { return len(e.queue) }
 
 // Executed returns how many event callbacks have run so far.
@@ -150,7 +161,7 @@ func (e *Engine) At(t Time, prio Priority, name string, fn func()) *Event {
 		panic("sim: nil event callback")
 	}
 	e.seq++
-	ev := &Event{at: t, prio: prio, seq: e.seq, name: name, fn: fn, index: -1}
+	ev := &Event{at: t, prio: prio, seq: e.seq, name: name, fn: fn, engine: e, index: -1}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -185,9 +196,6 @@ func (e *Engine) Run(horizon Time) int {
 			break
 		}
 		heap.Pop(&e.queue)
-		if next.canceled {
-			continue
-		}
 		if next.at < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: event %q at %.6f, now %.6f", next.name, float64(next.at), float64(e.now)))
 		}
@@ -207,15 +215,12 @@ func (e *Engine) Run(horizon Time) int {
 // RunAll executes events until the queue drains or Stop is called.
 func (e *Engine) RunAll() int { return e.Run(Infinity) }
 
-// Peek returns the time of the earliest pending non-canceled event and true,
-// or (0, false) if none is queued. It is O(n) in the number of canceled
-// events at the head but O(1) in the common case.
+// Peek returns the time of the earliest pending event and true, or
+// (0, false) if none is queued. Canceled events are removed from the queue
+// eagerly, so Peek is a true O(1) read and never mutates the engine.
 func (e *Engine) Peek() (Time, bool) {
-	for len(e.queue) > 0 {
-		if !e.queue[0].canceled {
-			return e.queue[0].at, true
-		}
-		heap.Pop(&e.queue)
+	if len(e.queue) == 0 {
+		return 0, false
 	}
-	return 0, false
+	return e.queue[0].at, true
 }

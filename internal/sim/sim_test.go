@@ -172,6 +172,71 @@ func TestEngineNilCallbackPanics(t *testing.T) {
 	e.At(1, PriorityState, "nil", nil)
 }
 
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine()
+	a := e.At(1, PriorityState, "a", func() {})
+	e.At(2, PriorityState, "b", func() {})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	a.Cancel()
+	if e.Len() != 1 {
+		t.Fatalf("Len after cancel = %d, want 1 (canceled event left a tombstone)", e.Len())
+	}
+	a.Cancel() // idempotent
+	if e.Len() != 1 {
+		t.Fatalf("Len after double cancel = %d, want 1", e.Len())
+	}
+	if n := e.RunAll(); n != 1 {
+		t.Fatalf("executed %d events, want 1", n)
+	}
+}
+
+func TestCancelManyKeepsHeapOrder(t *testing.T) {
+	// Eagerly removing events from the middle of the heap must not disturb
+	// the execution order of the survivors.
+	e := NewEngine()
+	var got []Time
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		at := Time(i)
+		evs = append(evs, e.At(at, PriorityState, "x", func() { got = append(got, at) }))
+	}
+	for i := 1; i < 100; i += 2 {
+		evs[i].Cancel()
+	}
+	if e.Len() != 50 {
+		t.Fatalf("Len after cancels = %d, want 50", e.Len())
+	}
+	e.RunAll()
+	if len(got) != 50 {
+		t.Fatalf("executed %d, want 50", len(got))
+	}
+	for i, at := range got {
+		if at != Time(2*i) {
+			t.Fatalf("execution order disturbed: got[%d] = %v, want %v", i, at, Time(2*i))
+		}
+	}
+}
+
+// After eager cancellation, Peek is a pure O(1) read: it never pops and
+// never changes the queue.
+func TestPeekIsPureRead(t *testing.T) {
+	e := NewEngine()
+	a := e.At(3, PriorityState, "a", func() {})
+	e.At(7, PriorityState, "b", func() {})
+	a.Cancel()
+	before := e.Len()
+	for i := 0; i < 5; i++ {
+		if at, ok := e.Peek(); !ok || at != 7 {
+			t.Fatalf("Peek = (%v,%v), want (7,true)", at, ok)
+		}
+	}
+	if e.Len() != before {
+		t.Fatalf("Peek mutated the queue: Len %d -> %d", before, e.Len())
+	}
+}
+
 func TestEnginePeek(t *testing.T) {
 	e := NewEngine()
 	if _, ok := e.Peek(); ok {

@@ -83,6 +83,11 @@ type Workload interface {
 // ResourceProfiler is optionally implemented by workloads that model
 // memory/IO footprints; the daemon uses it to populate Stats for the
 // non-CPU dimensions the paper's container monitor records.
+//
+// MemoryBytes must stay constant while the container runs: the daemon
+// samples it once at start and maintains the node-wide resident aggregate
+// incrementally (containers in this reproduction, like the paper's DL
+// jobs, reserve their working set up front).
 type ResourceProfiler interface {
 	MemoryBytes() float64
 	BlkIOPerWork() float64
@@ -113,6 +118,16 @@ type Container struct {
 	// blkioBytes / netioBytes are cumulative I/O, derived from work.
 	blkioBytes float64
 	netioBytes float64
+
+	// memBytes is the resident footprint sampled when the container
+	// started; the daemon's incremental MemoryUsed aggregate relies on it
+	// staying constant while the container runs (see ResourceProfiler).
+	memBytes float64
+	// eta is the analytic completion time under the current allocation
+	// (sim.Infinity when unknowable); etaIndex is the container's slot in
+	// the daemon's completion min-heap, -1 when not enqueued.
+	eta      sim.Time
+	etaIndex int
 }
 
 // ID returns the container id (cid in the paper's notation).

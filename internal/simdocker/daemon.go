@@ -1,6 +1,7 @@
 package simdocker
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -47,6 +48,24 @@ type Daemon struct {
 	// same property deterministically.
 	idPrefix string
 
+	// byName indexes containers by user-visible name so Run's uniqueness
+	// check is O(1) instead of a pool scan. Entries live until Remove,
+	// matching Docker's name reservation across exit.
+	byName map[string]string
+
+	// runningList holds the running containers in creation order — the
+	// set settle/reallocate iterate, kept separate from `order` so exited
+	// containers stop costing anything on the hot path.
+	runningList []*Container
+	// running and memUsed are incremental aggregates over runningList,
+	// maintained on start/exit so RunningCount/MemoryUsed are O(1).
+	running int
+	memUsed float64
+	// etas is a min-heap of running containers keyed by analytic
+	// completion time, so scheduleCompletion reads the earliest finish in
+	// O(1) instead of rescanning the pool.
+	etas etaHeap
+
 	onStart []func(*Container)
 	onExit  []func(*Container)
 
@@ -54,6 +73,12 @@ type Daemon struct {
 	lastAdvance sim.Time
 	// completion is the pending earliest-completion event, if any.
 	completion *sim.Event
+
+	// alloc, claimScratch and retireScratch are reused across reallocate
+	// calls so the per-event hot path allocates nothing in steady state.
+	alloc         resource.Allocator
+	claimScratch  []resource.Claim
+	retireScratch []*Container
 
 	// contention is the per-extra-container efficiency overhead h: with n
 	// running containers, each delivers useful work at alloc/(1+h·(n−1)).
@@ -90,6 +115,7 @@ func NewDaemon(engine *sim.Engine, capacity float64) *Daemon {
 		capacity:   capacity,
 		images:     make(map[string]Image),
 		containers: make(map[string]*Container),
+		byName:     make(map[string]string),
 	}
 }
 
@@ -137,19 +163,9 @@ func (d *Daemon) SetMemoryCapacity(bytes float64) {
 func (d *Daemon) MemoryCapacity() float64 { return d.memCapacity }
 
 // MemoryUsed returns the summed resident footprint of running containers
-// whose workloads report one.
-func (d *Daemon) MemoryUsed() float64 {
-	used := 0.0
-	for _, c := range d.containers {
-		if c.state != Running {
-			continue
-		}
-		if rp, ok := c.workload.(ResourceProfiler); ok {
-			used += rp.MemoryBytes()
-		}
-	}
-	return used
-}
+// whose workloads report one. The aggregate is maintained incrementally on
+// start/exit, so reading it is O(1).
+func (d *Daemon) MemoryUsed() float64 { return d.memUsed }
 
 // efficiency returns the work-delivery efficiency with n running
 // containers: contention cost 1/(1+h·(n−1)) times the thrashing penalty
@@ -159,11 +175,9 @@ func (d *Daemon) efficiency(n int) float64 {
 	if n > 1 {
 		eff = 1 / (1 + d.contention*float64(n-1))
 	}
-	if d.memCapacity > 0 {
-		if used := d.MemoryUsed(); used > d.memCapacity {
-			over := used/d.memCapacity - 1
-			eff /= 1 + thrashFactor*over
-		}
+	if d.memCapacity > 0 && d.memUsed > d.memCapacity {
+		over := d.memUsed/d.memCapacity - 1
+		eff /= 1 + thrashFactor*over
 	}
 	return eff
 }
@@ -219,10 +233,8 @@ func (d *Daemon) Run(spec RunSpec) (*Container, error) {
 	if name == "" {
 		name = id
 	}
-	for _, c := range d.containers {
-		if c.name == name {
-			return nil, fmt.Errorf("%w: %s", ErrNameInUse, name)
-		}
+	if _, taken := d.byName[name]; taken {
+		return nil, fmt.Errorf("%w: %s", ErrNameInUse, name)
 	}
 
 	d.settle()
@@ -235,9 +247,19 @@ func (d *Daemon) Run(spec RunSpec) (*Container, error) {
 		startedAt: d.engine.Now(),
 		workload:  spec.Workload,
 		cpuLimit:  limit,
+		eta:       sim.Infinity,
+		etaIndex:  -1,
+	}
+	if rp, ok := spec.Workload.(ResourceProfiler); ok {
+		c.memBytes = rp.MemoryBytes()
 	}
 	d.containers[id] = c
+	d.byName[name] = id
 	d.order = append(d.order, id)
+	d.runningList = append(d.runningList, c)
+	d.running++
+	d.memUsed += c.memBytes
+	heap.Push(&d.etas, c)
 	for _, fn := range d.onStart {
 		fn(c)
 	}
@@ -290,6 +312,7 @@ func (d *Daemon) Remove(id string) error {
 		return fmt.Errorf("simdocker: remove %s: container is running", id)
 	}
 	delete(d.containers, id)
+	delete(d.byName, c.name)
 	for i, oid := range d.order {
 		if oid == id {
 			d.order = append(d.order[:i], d.order[i+1:]...)
@@ -308,30 +331,34 @@ func (d *Daemon) Get(id string) (*Container, error) {
 	return c, nil
 }
 
+// Lookup returns the container with the given user-visible name through
+// the daemon's name index — O(1), no pool scan. Like Docker, a name stays
+// resolvable until the container is removed.
+func (d *Daemon) Lookup(name string) (*Container, error) {
+	id, ok := d.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return d.containers[id], nil
+}
+
 // PS lists containers in creation order. With all=false only running
 // containers are returned, mirroring `docker ps` vs `docker ps -a`.
 func (d *Daemon) PS(all bool) []*Container {
+	if !all {
+		return append([]*Container(nil), d.runningList...)
+	}
 	out := make([]*Container, 0, len(d.order))
 	for _, id := range d.order {
-		c := d.containers[id]
-		if all || c.state == Running {
-			out = append(out, c)
-		}
+		out = append(out, d.containers[id])
 	}
 	return out
 }
 
 // RunningCount returns the number of running containers — T(i) in
-// Algorithm 2's notation.
-func (d *Daemon) RunningCount() int {
-	n := 0
-	for _, c := range d.containers {
-		if c.state == Running {
-			n++
-		}
-	}
-	return n
-}
+// Algorithm 2's notation. The count is maintained incrementally on
+// start/exit, so reading it is O(1).
+func (d *Daemon) RunningCount() int { return d.running }
 
 // Stats returns a settled snapshot of one container's consumption.
 func (d *Daemon) Stats(id string) (Stats, error) {
@@ -373,10 +400,9 @@ func (d *Daemon) settle() {
 		d.lastAdvance = now
 		return
 	}
-	eff := d.efficiency(d.RunningCount())
-	for _, id := range d.order {
-		c := d.containers[id]
-		if c.state != Running || c.alloc == 0 {
+	eff := d.efficiency(d.running)
+	for _, c := range d.runningList {
+		if c.alloc == 0 {
 			continue
 		}
 		// CPU time is consumed at the allocated rate, but only the
@@ -395,11 +421,29 @@ func (d *Daemon) settle() {
 	// by reallocate's done-check; settle only does accounting.
 }
 
-// exit transitions a container to Exited and notifies subscribers.
+// exit transitions a container to Exited, updates the incremental
+// aggregates, and notifies subscribers.
 func (d *Daemon) exit(c *Container) {
 	c.state = Exited
 	c.alloc = 0
 	c.finishedAt = d.engine.Now()
+	for i, rc := range d.runningList {
+		if rc == c {
+			d.runningList = append(d.runningList[:i], d.runningList[i+1:]...)
+			break
+		}
+	}
+	d.running--
+	d.memUsed -= c.memBytes
+	if d.running == 0 {
+		// An empty node holds exactly zero bytes; resetting here keeps
+		// float cancellation error from accumulating across generations of
+		// containers.
+		d.memUsed = 0
+	}
+	if c.etaIndex >= 0 {
+		heap.Remove(&d.etas, c.etaIndex)
+	}
 	for _, fn := range d.onExit {
 		fn(c)
 	}
@@ -411,9 +455,10 @@ func (d *Daemon) exit(c *Container) {
 func (d *Daemon) reallocate() {
 	// Retire finished workloads before computing shares. Analytic
 	// completion events can leave ~1e-15 work of float residue; deliver it
-	// so Done() is authoritative for every observer, then exit.
-	for _, id := range d.order {
-		c := d.containers[id]
+	// so Done() is authoritative for every observer, then exit. Exits
+	// splice runningList, so iterate a scratch snapshot.
+	d.retireScratch = append(d.retireScratch[:0], d.runningList...)
+	for _, c := range d.retireScratch {
 		if c.state != Running {
 			continue
 		}
@@ -428,46 +473,46 @@ func (d *Daemon) reallocate() {
 		}
 	}
 
-	claims := make([]resource.Claim, 0, len(d.order))
-	running := make([]*Container, 0, len(d.order))
-	for _, id := range d.order {
-		c := d.containers[id]
-		if c.state != Running {
-			continue
-		}
-		claims = append(claims, resource.Claim{
+	d.claimScratch = d.claimScratch[:0]
+	for _, c := range d.runningList {
+		d.claimScratch = append(d.claimScratch, resource.Claim{
 			ID:     c.id,
 			Limit:  c.cpuLimit,
 			Demand: c.workload.CPUDemand(),
 		})
-		running = append(running, c)
 	}
-	alloc := resource.AllocateMap(d.capacity, claims)
-	for _, c := range running {
-		c.alloc = alloc[c.id]
+	alloc := d.alloc.Allocate(d.capacity, d.claimScratch)
+
+	// Refresh allocations and analytic completion times in one pass; the
+	// indexed min-heap is only touched for containers whose ETA moved.
+	eff := d.efficiency(d.running)
+	now := d.engine.Now()
+	for i, c := range d.runningList {
+		c.alloc = alloc[i].Amount
+		eta := sim.Infinity
+		if rem, ok := remainingWork(c.workload); ok && c.alloc > 0 {
+			eta = now + sim.Time(rem/(c.alloc*eff))
+		}
+		if eta != c.eta {
+			c.eta = eta
+			heap.Fix(&d.etas, c.etaIndex)
+		}
 	}
-	d.scheduleCompletion(running)
+	d.scheduleCompletion()
 }
 
 // scheduleCompletion replaces the pending completion event with one at the
-// earliest analytic finish time under the current allocation.
-func (d *Daemon) scheduleCompletion(running []*Container) {
+// earliest analytic finish time under the current allocation — an O(1)
+// read of the ETA heap's minimum.
+func (d *Daemon) scheduleCompletion() {
 	if d.completion != nil {
 		d.completion.Cancel()
 		d.completion = nil
 	}
-	eff := d.efficiency(len(running))
-	earliest := sim.Infinity
-	for _, c := range running {
-		rem, ok := remainingWork(c.workload)
-		if !ok || c.alloc <= 0 {
-			continue
-		}
-		eta := d.engine.Now() + sim.Time(rem/(c.alloc*eff))
-		if eta < earliest {
-			earliest = eta
-		}
+	if len(d.etas) == 0 {
+		return
 	}
+	earliest := d.etas[0].eta
 	if earliest == sim.Infinity {
 		return
 	}
@@ -476,6 +521,25 @@ func (d *Daemon) scheduleCompletion(running []*Container) {
 		d.settle()
 		d.reallocate()
 	})
+}
+
+// etaHeap is an indexed min-heap of running containers ordered by analytic
+// completion time. Containers track their slot via etaIndex, so a single
+// container's ETA change is an O(log n) Fix instead of a pool rescan.
+type etaHeap []*Container
+
+func (h etaHeap) Len() int           { return len(h) }
+func (h etaHeap) Less(i, j int) bool { return h[i].eta < h[j].eta }
+func (h etaHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].etaIndex = i; h[j].etaIndex = j }
+func (h *etaHeap) Push(x any)        { c := x.(*Container); c.etaIndex = len(*h); *h = append(*h, c) }
+func (h *etaHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	c.etaIndex = -1
+	*h = old[:n-1]
+	return c
 }
 
 // WorkRemainer is optionally implemented by workloads whose remaining CPU

@@ -32,17 +32,17 @@ func Summarize(sample []float64) Summary {
 	}
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
-	sum, sumSq := 0.0, 0.0
-	for _, v := range s {
-		sum += v
-		sumSq += v * v
+	// Welford's one-pass mean/variance: the textbook sumSq/n − mean² form
+	// cancels catastrophically when the sample mean is large relative to
+	// its spread (e.g. completion times in the 1e9 range with sub-second
+	// variance), silently reporting a zero or garbage Std.
+	mean, m2 := 0.0, 0.0
+	for i, v := range s {
+		delta := v - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (v - mean)
 	}
-	n := float64(len(s))
-	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
+	variance := m2 / float64(len(s))
 	return Summary{
 		N:      len(s),
 		Mean:   mean,

@@ -28,6 +28,23 @@ func TestSummarizeSingleton(t *testing.T) {
 	}
 }
 
+// Samples sitting on a large common offset used to destroy the variance:
+// the old sumSq/n − mean² form subtracts two ~1e24 quantities whose
+// difference (2/3) is far below their float64 resolution, and the
+// variance<0 clamp silently turned the garbage into Std=0. Welford's
+// one-pass update keeps full precision.
+func TestSummarizeOffsetHeavyVariance(t *testing.T) {
+	const base = 1e12
+	s := Summarize([]float64{base + 1, base + 2, base + 3})
+	wantStd := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-wantStd) > 1e-6 {
+		t.Fatalf("Std = %v, want %v (offset-heavy sample cancelled catastrophically)", s.Std, wantStd)
+	}
+	if math.Abs(s.Mean-(base+2)) > 1e-3 {
+		t.Fatalf("Mean = %v, want %v", s.Mean, base+2)
+	}
+}
+
 func TestSummarizeEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
