@@ -8,7 +8,7 @@ FUZZTIME ?= 20s
 # Per-benchmark budget for bench-json (CI smoke passes 1x).
 BENCHTIME ?= 1s
 
-.PHONY: all build test race bench bench-json fmt vet cover fuzz ci
+.PHONY: all build test race bench bench-json fmt vet cover fuzz determinism ci
 
 all: build test
 
@@ -46,6 +46,17 @@ cover:
 	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
+# The whole scenario registry (including the migration scenarios) must
+# render byte-identically at pool widths 1 and 8 — the sweep-sharding
+# guarantee CI enforces on every PR.
+determinism:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/flowcon-sim ./cmd/flowcon-sim && \
+	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 1 > $$dir/serial.out && \
+	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 8 > $$dir/parallel.out && \
+	cmp $$dir/serial.out $$dir/parallel.out && \
+	echo "scenario output is byte-identical at -parallel 1 and 8"
+
 # Short smoke run of every native fuzz target (the corpus under
 # testdata/fuzz runs as regular tests too).
 fuzz:
@@ -53,4 +64,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzGenerate$$' -fuzztime=$(FUZZTIME) ./internal/workload
 	$(GO) test -run='^$$' -fuzz='^FuzzReplay$$' -fuzztime=$(FUZZTIME) ./internal/workload
 
-ci: fmt vet build race bench cover fuzz
+ci: fmt vet build race bench cover fuzz determinism

@@ -60,8 +60,10 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/flowcon"
 	"repro/internal/metrics"
+	"repro/internal/migrate"
 	"repro/internal/realtime"
 	"repro/internal/sched"
+	"repro/internal/simdocker"
 	"repro/internal/workload"
 )
 
@@ -263,6 +265,46 @@ type Placement = cluster.Placement
 var (
 	LeastLoaded   = cluster.LeastLoaded
 	BinPackMemory = cluster.BinPackMemory
+	// FirstFit concentrates load on the lowest-index workers — the
+	// hotspot-building placement the rebalancer scenarios stress.
+	FirstFit = cluster.FirstFit
+)
+
+// Migration subsystem (see internal/migrate and the checkpoint/restore
+// support in internal/simdocker and internal/cluster): cluster-wide
+// elasticity via GE-aware live migration.
+type (
+	// ClusterPolicy is a cluster-level scheduling strategy attached to
+	// the manager alongside per-worker Policies.
+	ClusterPolicy = sched.ClusterPolicy
+	// Rebalancer is the GE-aware migration policy: it moves the lowest
+	// growth-efficiency container off pressured or straggling nodes.
+	Rebalancer = migrate.Rebalancer
+	// RebalancerConfig tunes the rebalancer's heuristics and cost model.
+	RebalancerConfig = migrate.Config
+	// MigrationPlan is one decided move (job, source, destination, why).
+	MigrationPlan = migrate.Plan
+	// MigrationCost prices freeze/transfer/thaw on the sim clock.
+	MigrationCost = cluster.MigrationCost
+	// MigrationSpec is one migration request for Manager.Migrate.
+	MigrationSpec = cluster.MigrationSpec
+	// ContainerCheckpoint is a frozen container (identity, progress,
+	// memory footprint, GE history) ready to restore on another daemon.
+	ContainerCheckpoint = simdocker.Checkpoint
+	// Drain schedules rolling maintenance on one worker in a Spec.
+	Drain = experiment.Drain
+)
+
+// Migration constructors.
+var (
+	// NewRebalancer builds a rebalancer from a config (fresh instance per
+	// run; Spec.ClusterPolicy wants a factory — see RebalancerPolicy).
+	NewRebalancer = migrate.New
+	// RebalancerPolicy adapts a RebalancerConfig into the factory
+	// Spec.ClusterPolicy/Scenario.ClusterPolicy expect.
+	RebalancerPolicy = experiment.RebalancerPolicy
+	// DefaultMigrationCost is the calibrated freeze/transfer/thaw model.
+	DefaultMigrationCost = cluster.DefaultMigrationCost
 )
 
 // Archive is the serializable form of an experiment's traces.

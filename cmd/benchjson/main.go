@@ -29,11 +29,14 @@ import (
 	"repro/internal/experiment"
 )
 
-// benchPackages are the packages holding the hot-path microbenchmarks.
+// benchPackages are the packages holding the hot-path microbenchmarks,
+// including the migration ladder (checkpoint/restore in simdocker, full
+// manager-mediated migrate and rebalancer scans in migrate).
 var benchPackages = []string{
 	"./internal/sim",
 	"./internal/simdocker",
 	"./internal/flowcon",
+	"./internal/migrate",
 }
 
 // scenarioName is the registered cluster-scale stress scenario.

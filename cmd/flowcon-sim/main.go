@@ -48,6 +48,10 @@ func main() {
 	record := flag.String("record", "", "with -scenario: write each generated schedule as a JSONL trace into this directory")
 	replay := flag.String("replay", "", "run a recorded JSONL trace as a one-off scenario")
 	replayWorkers := flag.Int("workers", 1, "with -replay: cluster size for the replayed trace")
+	rebalance := flag.Bool("rebalance", false,
+		"with -scenario: attach the GE-aware migration rebalancer to scenarios that do not already define a cluster policy")
+	migrationCost := flag.Float64("migration-cost", 0,
+		"with -scenario: fixed freeze+thaw seconds charged per live migration (0 = calibrated default; transfer time from memory size is added on top)")
 	flag.Usage = usage
 	flag.Parse()
 	experiment.SetDefaultParallelism(*parallel)
@@ -62,7 +66,8 @@ func main() {
 	case *replay != "":
 		mode, allowed = "-replay", map[string]bool{"replay": true, "workers": true, "parallel": true}
 	case *scenario != "":
-		mode, allowed = "-scenario", map[string]bool{"scenario": true, "seeds": true, "record": true, "parallel": true}
+		mode, allowed = "-scenario", map[string]bool{"scenario": true, "seeds": true, "record": true,
+			"parallel": true, "rebalance": true, "migration-cost": true}
 	}
 	for name := range set {
 		if !allowed[name] {
@@ -87,7 +92,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "flowcon-sim: -seeds must be positive")
 			os.Exit(2)
 		}
-		runScenarios(resolveScenarios(*scenario), experiment.ScenarioSeeds(*seeds), *record)
+		if *migrationCost < 0 {
+			fmt.Fprintln(os.Stderr, "flowcon-sim: -migration-cost must be non-negative")
+			os.Exit(2)
+		}
+		scens := resolveScenarios(*scenario)
+		applyMigrationFlags(scens, *rebalance, *migrationCost)
+		runScenarios(scens, experiment.ScenarioSeeds(*seeds), *record)
 		return
 	}
 	args := flag.Args()
@@ -133,7 +144,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
        flowcon-sim -scenario-list
-       flowcon-sim [-parallel N] [-seeds N] [-record dir] -scenario <name[,...]|all>
+       flowcon-sim [-parallel N] [-seeds N] [-record dir] [-rebalance]
+                   [-migration-cost sec] -scenario <name[,...]|all>
        flowcon-sim [-workers N] -replay trace.jsonl
 
 experiments:

@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/migrate"
 	"repro/internal/workload"
 )
 
@@ -40,6 +42,37 @@ func resolveScenarios(arg string) []experiment.Scenario {
 		os.Exit(2)
 	}
 	return scens
+}
+
+// applyMigrationFlags folds -rebalance and -migration-cost into the
+// selected scenario copies: the cost model (when set) reprices each
+// scenario's drains and its declarative rebalancer (including built-ins
+// like hotspot-rebalance), and -rebalance attaches the GE-aware
+// rebalancer to every scenario that does not already define a cluster
+// policy. Only an opaque custom Scenario.ClusterPolicy is beyond the
+// flags' reach.
+func applyMigrationFlags(scens []experiment.Scenario, rebalance bool, costSec float64) {
+	cost := cluster.MigrationCost{}
+	if costSec > 0 {
+		cost = cluster.DefaultMigrationCost()
+		cost.FreezeSec = costSec / 2
+		cost.ThawSec = costSec / 2
+	}
+	for i := range scens {
+		if costSec > 0 {
+			scens[i].MigrationCost = cost
+			if scens[i].Rebalance != nil {
+				// Copy before repricing — the registry owns the original.
+				cfg := *scens[i].Rebalance
+				cfg.Cost = cost
+				scens[i].Rebalance = &cfg
+			}
+		}
+		if rebalance && scens[i].ClusterPolicy == nil && scens[i].Rebalance == nil {
+			scens[i].Rebalance = &migrate.Config{Cost: cost}
+			scens[i].ClusterPolicyName = "GE-Rebalancer"
+		}
+	}
 }
 
 // runScenarios executes the selected scenarios across the sweep pool and

@@ -26,15 +26,18 @@ const (
 	ImageTensorFlow = "tensorflow/tensorflow:1.13"
 )
 
-// ImageFor maps a model's framework to its container image reference.
-func ImageFor(fw dlmodel.Framework) string {
+// ImageFor maps a model's framework to its container image reference. An
+// unknown framework is an error, not a panic: profiles are a user
+// extension point, and a typo in a custom profile should surface as a
+// failed launch rather than tear down the whole simulation.
+func ImageFor(fw dlmodel.Framework) (string, error) {
 	switch fw {
 	case dlmodel.PyTorch:
-		return ImagePyTorch
+		return ImagePyTorch, nil
 	case dlmodel.TensorFlow:
-		return ImageTensorFlow
+		return ImageTensorFlow, nil
 	default:
-		panic(fmt.Sprintf("cluster: unknown framework %q", fw))
+		return "", fmt.Errorf("cluster: no image for unknown framework %q", fw)
 	}
 }
 
@@ -55,6 +58,9 @@ type Worker struct {
 	maxContainers int
 	// failed marks a crashed worker: it hosts nothing until repaired.
 	failed bool
+	// cordoned marks a worker closed for new admissions (rolling
+	// maintenance); running containers keep running until drained.
+	cordoned bool
 
 	startSubs []func(id string)
 	exitSubs  []func(id string)
@@ -171,14 +177,35 @@ func (w *Worker) Fail() {
 	}
 }
 
-// Repair brings a failed worker back online with an empty pool.
-func (w *Worker) Repair() { w.failed = false }
+// Repair brings a failed worker back online with an empty pool: the
+// exited husks the crash left behind are removed so their reserved names
+// cannot collide with a job migrating (or being re-placed) back onto the
+// repaired node.
+func (w *Worker) Repair() {
+	w.failed = false
+	for _, c := range w.daemon.PS(true) {
+		if c.State() == simdocker.Exited {
+			// Remove cannot fail for an exited container PS just returned.
+			_ = w.daemon.Remove(c.ID())
+		}
+	}
+}
+
+// Cordon closes the worker for new admissions without touching its
+// running containers — the first half of a rolling-maintenance drain.
+func (w *Worker) Cordon() { w.cordoned = true }
+
+// Uncordon reopens a cordoned worker for placements.
+func (w *Worker) Uncordon() { w.cordoned = false }
+
+// Cordoned reports whether the worker is closed for admissions.
+func (w *Worker) Cordoned() bool { return w.cordoned }
 
 // CanHost reports whether the worker can admit a job with the given
-// profile right now: it is alive, below its container cap, and the job's
-// resident memory fits the node without overcommit.
+// profile right now: it is alive, not cordoned, below its container cap,
+// and the job's resident memory fits the node without overcommit.
 func (w *Worker) CanHost(p dlmodel.Profile) bool {
-	if w.failed {
+	if w.failed || w.cordoned {
 		return false
 	}
 	if w.maxContainers > 0 && w.RunningCount() >= w.maxContainers {
@@ -200,11 +227,21 @@ func (w *Worker) MemoryFree() float64 {
 // Launch runs a DL job in a new container on this worker and returns the
 // container. Name is the experiment-level job label (e.g. "Job-3").
 func (w *Worker) Launch(name string, job *dlmodel.Job) (*simdocker.Container, error) {
+	img, err := ImageFor(job.Profile().Framework)
+	if err != nil {
+		return nil, err
+	}
 	return w.daemon.Run(simdocker.RunSpec{
-		Image:    ImageFor(job.Profile().Framework),
+		Image:    img,
 		Name:     name,
 		Workload: job,
 	})
+}
+
+// Restore thaws a migration checkpoint into a running container on this
+// worker (the receiving half of Manager.Migrate).
+func (w *Worker) Restore(cp *simdocker.Checkpoint) (*simdocker.Container, error) {
+	return w.daemon.Restore(cp)
 }
 
 // Placement selects a worker able to host the given job, or nil to make
@@ -242,6 +279,20 @@ func BinPackMemory(workers []*Worker, p dlmodel.Profile) *Worker {
 	return best
 }
 
+// FirstFit places on the first hosting-capable worker in declaration
+// order. It deliberately concentrates load on the lowest-index nodes and
+// leaves the tail idle — the skewed, manager-never-revisits placement
+// that builds the hotspots the GE-aware rebalancer exists to dissolve
+// (the `hotspot` scenario pairs the two).
+func FirstFit(workers []*Worker, p dlmodel.Profile) *Worker {
+	for _, w := range workers {
+		if w.CanHost(p) {
+			return w
+		}
+	}
+	return nil
+}
+
 // pendingJob is a submission waiting for capacity (or retry after a
 // worker failure, possibly resuming from checkpointed work).
 type pendingJob struct {
@@ -266,6 +317,16 @@ type Manager struct {
 	queue     []pendingJob
 	requeued  int
 	onPlace   []func(jobName string, w *Worker, c *simdocker.Container)
+	onMigrate []func(jobName string, w *Worker, c *simdocker.Container)
+
+	// inflight holds checkpoints of jobs mid-migration (frozen off their
+	// source, not yet thawed anywhere). While a job is here its placed
+	// entry is nil, so failure recovery, admission and duplicate checks
+	// all see it as "not on any worker" — which is exactly true.
+	inflight map[string]*simdocker.Checkpoint
+	// migrated counts completed migrations (checkpoints thawed back into
+	// a running or queued job).
+	migrated int
 
 	// checkpointInterval, when positive, enables checkpoint-based
 	// recovery: jobs persist their progress every interval of delivered
@@ -294,6 +355,7 @@ func NewManager(engine *sim.Engine, workers []*Worker, placement Placement) *Man
 		placement: placement,
 		placed:    make(map[string]*Worker),
 		profiles:  make(map[string]dlmodel.Profile),
+		inflight:  make(map[string]*simdocker.Checkpoint),
 	}
 	for _, w := range workers {
 		w := w
@@ -316,6 +378,25 @@ func (m *Manager) Workers() []*Worker { return m.workers }
 // labels to container IDs; re-placements after failures fire again).
 func (m *Manager) OnPlace(fn func(jobName string, w *Worker, c *simdocker.Container)) {
 	m.onPlace = append(m.onPlace, fn)
+}
+
+// OnMigrate subscribes to migration thaws: a job landing on its
+// destination with progress intact. Distinct from OnPlace so observers
+// can tell a lossless move from a launch or a lossy failure restart
+// (a thaw that found no destination and fell back to the admission
+// queue re-emerges through OnPlace like any queued job).
+func (m *Manager) OnMigrate(fn func(jobName string, w *Worker, c *simdocker.Container)) {
+	m.onMigrate = append(m.onMigrate, fn)
+}
+
+// Kick schedules an admission-queue drain at listener priority. Exits
+// drive the queue automatically; call Kick when capacity returns through
+// another path — an uncordon or a repair — or queued jobs would wait for
+// an unrelated exit that may never come.
+func (m *Manager) Kick() {
+	if len(m.queue) > 0 {
+		m.engine.At(m.engine.Now(), sim.PriorityListener, "manager.kick", m.drainQueue)
+	}
 }
 
 // Submit schedules a job to be launched at virtual time `at`. The job name
@@ -433,3 +514,9 @@ func (m *Manager) Requeued() int { return m.requeued }
 
 // WorkerOf returns the worker a job was placed on (nil before placement).
 func (m *Manager) WorkerOf(name string) *Worker { return m.placed[name] }
+
+// ProfileOf returns the profile a job was submitted with.
+func (m *Manager) ProfileOf(name string) (dlmodel.Profile, bool) {
+	p, ok := m.profiles[name]
+	return p, ok
+}

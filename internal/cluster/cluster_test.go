@@ -10,18 +10,44 @@ import (
 )
 
 func TestImageFor(t *testing.T) {
-	if ImageFor(dlmodel.PyTorch) != ImagePyTorch {
-		t.Fatal("wrong pytorch image")
+	tests := []struct {
+		name    string
+		fw      dlmodel.Framework
+		want    string
+		wantErr bool
+	}{
+		{"pytorch", dlmodel.PyTorch, ImagePyTorch, false},
+		{"tensorflow", dlmodel.TensorFlow, ImageTensorFlow, false},
+		{"unknown framework", dlmodel.Framework("mxnet"), "", true},
+		{"empty framework", dlmodel.Framework(""), "", true},
+		{"case-sensitive", dlmodel.Framework("pytorch"), "", true},
 	}
-	if ImageFor(dlmodel.TensorFlow) != ImageTensorFlow {
-		t.Fatal("wrong tensorflow image")
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ImageFor(tc.fw)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ImageFor(%q) error = %v, wantErr %v", tc.fw, err, tc.wantErr)
+			}
+			if got != tc.want {
+				t.Fatalf("ImageFor(%q) = %q, want %q", tc.fw, got, tc.want)
+			}
+		})
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown framework did not panic")
-		}
-	}()
-	ImageFor(dlmodel.Framework("mxnet"))
+}
+
+// A profile with an unmappable framework fails at launch with an error
+// instead of tearing the simulation down.
+func TestLaunchUnknownFrameworkErrors(t *testing.T) {
+	e := sim.NewEngine()
+	w := NewWorker("w0", e, 1.0)
+	p := dlmodel.MNISTTensorFlow()
+	p.Framework = dlmodel.Framework("mxnet")
+	if _, err := w.Launch("j", dlmodel.NewJob("j", p)); err == nil {
+		t.Fatal("launch with unknown framework succeeded")
+	}
+	if w.RunningCount() != 0 {
+		t.Fatal("failed launch left a container behind")
+	}
 }
 
 func TestWorkerLaunchAndLifecycle(t *testing.T) {

@@ -73,7 +73,7 @@ func ReportSweepResult(w io.Writer, sr *SweepResult) {
 // sampled at 25/50/75% of each run's makespan.
 func ReportScenario(w io.Writer, outs []ScenarioOutcome) {
 	fmt.Fprintln(w, "Scenario summary (FlowCon)")
-	header := []string{"scenario", "seeds", "jobs", "makespan", "mean-ct", "p95-ct"}
+	header := []string{"scenario", "seeds", "jobs", "makespan", "mean-ct", "p95-ct", "migr"}
 	for _, f := range geFractions {
 		header = append(header, fmt.Sprintf("GE@%d%%", int(f*100)))
 	}
@@ -83,7 +83,7 @@ func ReportScenario(w io.Writer, outs []ScenarioOutcome) {
 		row := []string{o.Scenario.Name, fmt.Sprintf("%d", len(o.Seeds))}
 		agg, ok := o.aggregate()
 		if !ok {
-			row = append(row, "-", "-", "-", "-")
+			row = append(row, "-", "-", "-", "-", "-")
 			for range geFractions {
 				row = append(row, "-")
 			}
@@ -96,6 +96,7 @@ func ReportScenario(w io.Writer, outs []ScenarioOutcome) {
 			fmt.Sprintf("%.1f", agg.makespan),
 			orDash(agg.meanCT, "%.1f"),
 			orDash(agg.p95CT, "%.1f"),
+			fmt.Sprintf("%.1f", agg.migrated),
 		)
 		for _, g := range agg.ge {
 			row = append(row, orDash(g, "%.4f"))

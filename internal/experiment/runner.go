@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/flowcon"
@@ -58,6 +59,30 @@ type Spec struct {
 	// last snapshot after a failure (0 = no checkpointing, the paper's
 	// behaviour).
 	CheckpointWork float64
+	// ClusterPolicy constructs an optional cluster-level policy (e.g. the
+	// GE-aware rebalancer in internal/migrate) attached to the manager
+	// alongside the per-worker policies. Must return a fresh instance per
+	// call — policies hold per-run state and runs execute concurrently in
+	// sweeps.
+	ClusterPolicy func() sched.ClusterPolicy
+	// Drains schedules rolling maintenance: at each entry's time the
+	// worker is cordoned and its jobs live-migrate elsewhere.
+	Drains []Drain
+	// MigrationCost is the freeze/transfer/thaw model charged for drain
+	// migrations (zero value = cluster.DefaultMigrationCost()).
+	MigrationCost cluster.MigrationCost
+}
+
+// Drain schedules rolling maintenance on one worker: cordon + migrate
+// everything off at At, and (optionally) reopen for placements at
+// UncordonAt.
+type Drain struct {
+	// Worker is the worker index, as in Spec.Failures.
+	Worker int
+	// At is when the drain starts (virtual seconds).
+	At float64
+	// UncordonAt reopens the worker (0 = stays cordoned forever).
+	UncordonAt float64
 }
 
 // DefaultContentionOverhead is the calibrated per-extra-container
@@ -86,6 +111,11 @@ type Result struct {
 	// Requeued counts job placements lost to injected worker failures
 	// and rescheduled.
 	Requeued int
+	// Migrated counts completed live migrations (rebalancer moves and
+	// drains; zero when no cluster policy or drain ran).
+	Migrated int
+	// ClusterPolicy names the attached cluster-level policy ("" if none).
+	ClusterPolicy string
 }
 
 // CompletionTimes returns job name → completion time (finish − start).
@@ -131,6 +161,13 @@ func RunE(spec Spec) (*Result, error) {
 	if len(spec.Submissions) == 0 {
 		return nil, fmt.Errorf("experiment: spec %q without submissions", spec.Name)
 	}
+	for _, s := range spec.Submissions {
+		// A framework with no image would otherwise surface as a launch
+		// panic mid-run; custom profiles are user input, so fail upfront.
+		if _, err := cluster.ImageFor(s.Profile.Framework); err != nil {
+			return nil, fmt.Errorf("experiment: spec %q job %q: %v", spec.Name, s.Name, err)
+		}
+	}
 	if spec.Workers < 0 {
 		return nil, fmt.Errorf("experiment: spec %q has negative worker count %d", spec.Name, spec.Workers)
 	}
@@ -138,6 +175,24 @@ func RunE(spec Spec) (*Result, error) {
 		if idx < 0 || idx >= max(spec.Workers, 1) {
 			return nil, fmt.Errorf("experiment: spec %q failure index %d out of range", spec.Name, idx)
 		}
+	}
+	for _, d := range spec.Drains {
+		if d.Worker < 0 || d.Worker >= max(spec.Workers, 1) {
+			return nil, fmt.Errorf("experiment: spec %q drain index %d out of range", spec.Name, d.Worker)
+		}
+		if d.At < 0 || math.IsNaN(d.At) || math.IsInf(d.At, 0) {
+			return nil, fmt.Errorf("experiment: spec %q drain at %g invalid", spec.Name, d.At)
+		}
+		if d.UncordonAt != 0 && (d.UncordonAt <= d.At || math.IsNaN(d.UncordonAt) || math.IsInf(d.UncordonAt, 0)) {
+			return nil, fmt.Errorf("experiment: spec %q uncordon at %g must follow drain at %g",
+				spec.Name, d.UncordonAt, d.At)
+		}
+	}
+	if err := spec.MigrationCost.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: spec %q: %v", spec.Name, err)
+	}
+	if spec.MigrationCost == (cluster.MigrationCost{}) {
+		spec.MigrationCost = cluster.DefaultMigrationCost()
 	}
 	if spec.Workers == 0 {
 		spec.Workers = 1
@@ -197,6 +252,31 @@ func RunE(spec Spec) (*Result, error) {
 	manager.OnPlace(func(name string, w *cluster.Worker, c *simdocker.Container) {
 		collector.TrackJob(name, w.Name(), modelOf[name], c)
 	})
+	manager.OnMigrate(func(name string, w *cluster.Worker, c *simdocker.Container) {
+		collector.TrackJobMigrated(name, w.Name(), modelOf[name], c)
+	})
+	var clusterPolicy sched.ClusterPolicy
+	if spec.ClusterPolicy != nil {
+		clusterPolicy = spec.ClusterPolicy()
+		clusterPolicy.AttachCluster(engine, manager)
+	}
+	for _, d := range spec.Drains {
+		w := workers[d.Worker]
+		cost := spec.MigrationCost
+		engine.At(sim.Time(d.At), sim.PriorityState, "experiment.drain."+w.Name(), func() {
+			manager.Drain(w, cost)
+		})
+		if d.UncordonAt > 0 {
+			engine.At(sim.Time(d.UncordonAt), sim.PriorityState,
+				"experiment.uncordon."+w.Name(), func() {
+					w.Uncordon()
+					// Reopened capacity must revive queued jobs even if no
+					// container ever exits again (e.g. everything thawed
+					// into the queue while the whole cluster was cordoned).
+					manager.Kick()
+				})
+		}
+	}
 
 	// Stop the engine the moment the last job completes; otherwise the
 	// periodic samplers and executor ticks self-schedule forever. Exits
@@ -234,6 +314,10 @@ func RunE(spec Spec) (*Result, error) {
 			manager.Submitted() == len(collector.Jobs()),
 		Collector: collector,
 		Requeued:  manager.Requeued(),
+		Migrated:  manager.Migrated(),
+	}
+	if clusterPolicy != nil {
+		res.ClusterPolicy = clusterPolicy.Name()
 	}
 	for _, p := range policies {
 		if fc, ok := p.(*sched.FlowCon); ok && fc.Controller() != nil {

@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/migrate"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -41,6 +43,20 @@ type Scenario struct {
 	MaxContainersPerWorker int
 	// Horizon overrides the simulated-time safety cap (0 = default).
 	Horizon float64
+	// Rebalance attaches the GE-aware migration rebalancer with this
+	// configuration (a fresh instance per run). It is the declarative
+	// route the CLI's -rebalance/-migration-cost flags can inspect and
+	// reprice; mutually exclusive with ClusterPolicy.
+	Rebalance *migrate.Config
+	// ClusterPolicy optionally attaches an arbitrary cluster-level
+	// policy; must return a fresh instance per call. ClusterPolicyName
+	// labels it in listings.
+	ClusterPolicy     func() sched.ClusterPolicy
+	ClusterPolicyName string
+	// Drains schedules rolling maintenance (see Spec.Drains), priced by
+	// MigrationCost (zero value = cluster.DefaultMigrationCost()).
+	Drains        []Drain
+	MigrationCost cluster.MigrationCost
 }
 
 // Setting returns the scenario's effective FlowCon setting.
@@ -58,7 +74,7 @@ func (s Scenario) Setting() Setting {
 // Spec expands the scenario into one runnable Spec for the seed.
 func (s Scenario) Spec(seed int64) Spec {
 	setting := s.Setting()
-	return Spec{
+	spec := Spec{
 		Name:                   fmt.Sprintf("%s [seed=%d %s]", s.Name, seed, setting.Label()),
 		NewPolicy:              FlowConPolicy(setting.Alpha, setting.Itval),
 		Submissions:            s.Workload(seed),
@@ -66,7 +82,14 @@ func (s Scenario) Spec(seed int64) Spec {
 		Placement:              s.Placement,
 		MaxContainersPerWorker: s.MaxContainersPerWorker,
 		Horizon:                s.Horizon,
+		ClusterPolicy:          s.ClusterPolicy,
+		Drains:                 s.Drains,
+		MigrationCost:          s.MigrationCost,
 	}
+	if s.Rebalance != nil {
+		spec.ClusterPolicy = RebalancerPolicy(*s.Rebalance)
+	}
+	return spec
 }
 
 // validate rejects unusable scenario definitions — RegisterScenario is a
@@ -93,6 +116,22 @@ func (s Scenario) validate() error {
 	}
 	if s.MaxContainersPerWorker < 0 {
 		return fmt.Errorf("experiment: scenario %q has negative container cap %d", s.Name, s.MaxContainersPerWorker)
+	}
+	for _, d := range s.Drains {
+		if d.Worker < 0 || d.Worker >= max(s.Workers, 1) {
+			return fmt.Errorf("experiment: scenario %q drain index %d out of range", s.Name, d.Worker)
+		}
+	}
+	if err := s.MigrationCost.Validate(); err != nil {
+		return fmt.Errorf("experiment: scenario %q: %v", s.Name, err)
+	}
+	if s.Rebalance != nil {
+		if s.ClusterPolicy != nil {
+			return fmt.Errorf("experiment: scenario %q sets both Rebalance and ClusterPolicy", s.Name)
+		}
+		if err := s.Rebalance.Validate(); err != nil {
+			return fmt.Errorf("experiment: scenario %q: %v", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -225,6 +264,57 @@ func init() {
 		MaxContainersPerWorker: 16,
 		Horizon:                20000,
 	})
+	// hotspot reproduces the imbalance the paper's design leaves open: a
+	// first-fit manager packs every arrival onto the lowest-index node
+	// and never revisits the placement, so one worker runs deep in
+	// contention while its neighbors idle. hotspot-rebalance is the same
+	// workload and placement with the GE-aware rebalancer attached; the
+	// pair is the acceptance experiment for internal/migrate (a test
+	// asserts rebalancing improves makespan and 95p completion).
+	hotspot := workload.Poisson{Rate: 0.08, WindowSec: 150, MaxJobs: 16}
+	hotspotWorkload := workload.Generator{Process: hotspot, Mix: catalog, MinJobs: 10}.Generate
+	mustRegisterScenario(Scenario{
+		Name:                   "hotspot",
+		Description:            "skewed first-fit placement, no rebalancing: " + hotspot.Describe(),
+		Workload:               hotspotWorkload,
+		Workers:                4,
+		Placement:              cluster.FirstFit,
+		PlacementName:          "first-fit",
+		MaxContainersPerWorker: 8,
+	})
+	mustRegisterScenario(Scenario{
+		Name:                   "hotspot-rebalance",
+		Description:            "hotspot workload with the GE-aware migration rebalancer attached",
+		Workload:               hotspotWorkload,
+		Workers:                4,
+		Placement:              cluster.FirstFit,
+		PlacementName:          "first-fit",
+		MaxContainersPerWorker: 8,
+		Rebalance:              &migrate.Config{Interval: 20, MaxMovesPerScan: 2},
+		ClusterPolicyName:      "GE-Rebalancer",
+	})
+	// rolling-drain exercises the maintenance path: each worker is
+	// cordoned and live-drained in turn, with checkpointed jobs paying
+	// the freeze/transfer/thaw cost and landing on the survivors.
+	drainArrivals := workload.Poisson{Rate: 0.05, WindowSec: 120, MaxJobs: 10}
+	mustRegisterScenario(Scenario{
+		Name:        "rolling-drain",
+		Description: "rolling maintenance, 3 workers drained in turn: " + drainArrivals.Describe(),
+		Workload:    workload.Generator{Process: drainArrivals, Mix: catalog, MinJobs: 6}.Generate,
+		Workers:     3,
+		Drains: []Drain{
+			{Worker: 0, At: 60, UncordonAt: 160},
+			{Worker: 1, At: 160, UncordonAt: 260},
+			{Worker: 2, At: 260, UncordonAt: 360},
+		},
+	})
+}
+
+// RebalancerPolicy adapts a migrate.Config into the fresh-instance
+// factory Spec.ClusterPolicy expects (one rebalancer per run — it holds
+// per-run GE history).
+func RebalancerPolicy(cfg migrate.Config) func() sched.ClusterPolicy {
+	return func() sched.ClusterPolicy { return migrate.New(cfg) }
 }
 
 // ScenarioOutcome is one scenario's slice of a scenario sweep: the per-
@@ -304,6 +394,7 @@ type scenarioRow struct {
 	makespan float64   // mean across seeds
 	meanCT   float64   // mean completion time, pooled over seeds
 	p95CT    float64   // 95th percentile completion time, pooled
+	migrated float64   // mean completed live migrations per seed
 	ge       []float64 // mean G at each geFraction
 	finished bool      // every job in every seed finished
 	dropped  bool      // some submitted jobs were never placed
@@ -324,6 +415,7 @@ func (o ScenarioOutcome) aggregate() (scenarioRow, bool) {
 		// queued at the horizon must not vanish from the stress report.
 		row.jobs += float64(res.Submitted)
 		row.makespan += res.Makespan
+		row.migrated += float64(res.Migrated)
 		if !res.Completed {
 			row.finished = false
 		}
@@ -356,6 +448,7 @@ func (o ScenarioOutcome) aggregate() (scenarioRow, bool) {
 	}
 	row.jobs /= float64(len(results))
 	row.makespan /= float64(len(results))
+	row.migrated /= float64(len(results))
 	if len(cts) > 0 {
 		sort.Float64s(cts)
 		sum := 0.0

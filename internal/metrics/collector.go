@@ -18,8 +18,11 @@ type JobRecord struct {
 	StartedAt   float64
 	FinishedAt  float64
 	Finished    bool
-	// Restarts counts re-placements after worker failures.
+	// Restarts counts re-placements after worker failures (training
+	// progress was lost, checkpoint-recovery aside).
 	Restarts int
+	// Migrations counts lossless live-migration thaws (progress intact).
+	Migrations int
 }
 
 // CompletionTime returns finish − start, the paper's "individual job
@@ -73,14 +76,8 @@ func NewCollector(engine *sim.Engine, period float64) *Collector {
 // original start time is kept so CompletionTime covers the restart.
 func (c *Collector) TrackJob(name, worker, model string, cont *simdocker.Container) {
 	if r, ok := c.jobs[name]; ok {
-		if r.Finished {
-			panic(fmt.Sprintf("metrics: re-tracking finished job %q", name))
-		}
-		delete(c.byCID, r.ContainerID)
-		r.ContainerID = cont.ID()
-		r.Worker = worker
+		c.rebind(r, name, worker, cont)
 		r.Restarts++
-		c.byCID[cont.ID()] = r
 		return
 	}
 	r := &JobRecord{
@@ -97,6 +94,32 @@ func (c *Collector) TrackJob(name, worker, model string, cont *simdocker.Contain
 	c.limits[name] = &Series{}
 	c.growth[name] = &Series{}
 	c.lists[name] = &Series{}
+}
+
+// TrackJobMigrated re-binds a job to the container a live migration
+// thawed it into. Call from the manager's OnMigrate hook: unlike a
+// failure re-placement the move was lossless, so it counts as a
+// Migration, not a Restart. A job never seen before falls through to
+// TrackJob (defensive; the manager always places before it migrates).
+func (c *Collector) TrackJobMigrated(name, worker, model string, cont *simdocker.Container) {
+	r, ok := c.jobs[name]
+	if !ok {
+		c.TrackJob(name, worker, model, cont)
+		return
+	}
+	c.rebind(r, name, worker, cont)
+	r.Migrations++
+}
+
+// rebind points an open job record at a new container.
+func (c *Collector) rebind(r *JobRecord, name, worker string, cont *simdocker.Container) {
+	if r.Finished {
+		panic(fmt.Sprintf("metrics: re-tracking finished job %q", name))
+	}
+	delete(c.byCID, r.ContainerID)
+	r.ContainerID = cont.ID()
+	r.Worker = worker
+	c.byCID[cont.ID()] = r
 }
 
 // JobExited records a job's completion. Call from the daemon's OnExit

@@ -230,6 +230,41 @@ func TestCollectorRetrackRebinds(t *testing.T) {
 	}
 }
 
+func TestCollectorTracksMigrationsSeparately(t *testing.T) {
+	e := sim.NewEngine()
+	d := simdocker.NewDaemon(e, 1.0)
+	d.Pull(simdocker.Image{Ref: "img:1"})
+	col := NewCollector(e, 1.0)
+	j := dlmodel.NewJob("x", dlmodel.GRU())
+	c1, _ := d.Run(simdocker.RunSpec{Image: "img:1", Name: "x1", Workload: j})
+	col.TrackJob("x", "w", "m", c1)
+
+	// A live-migration thaw re-binds without counting a restart.
+	cp, err := d.Checkpoint(c1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.Restore(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.TrackJobMigrated("x", "w2", "m", c2)
+	r, _ := col.Job("x")
+	if r.ContainerID != c2.ID() || r.Worker != "w2" {
+		t.Fatalf("migration rebind failed: %+v", r)
+	}
+	if r.Migrations != 1 || r.Restarts != 0 {
+		t.Fatalf("Migrations=%d Restarts=%d, want 1/0", r.Migrations, r.Restarts)
+	}
+	// A never-tracked job falls through to a fresh record.
+	j2 := dlmodel.NewJob("y", dlmodel.GRU())
+	c3, _ := d.Run(simdocker.RunSpec{Image: "img:1", Name: "y1", Workload: j2})
+	col.TrackJobMigrated("y", "w", "m", c3)
+	if r, ok := col.Job("y"); !ok || r.Migrations != 0 {
+		t.Fatalf("fallback tracking failed: %+v ok=%v", r, ok)
+	}
+}
+
 func TestCollectorRecordRun(t *testing.T) {
 	e := sim.NewEngine()
 	d := simdocker.NewDaemon(e, 1.0)

@@ -1,0 +1,430 @@
+// Package migrate closes the loop the paper leaves open: FlowCon keeps
+// all growth-efficiency machinery worker-local, so the manager places a
+// job once and never reconsiders — a node that fills up with low-GE
+// stragglers stays congested while a neighbor idles. The Rebalancer is a
+// periodic cluster-level policy that reuses the same growth-efficiency
+// signal (Eq. 2) across nodes: it snapshots per-worker load and
+// per-container GE, detects imbalance, and live-migrates the least
+// efficient movable container from the hottest node to the coldest one
+// through the manager's checkpoint/restore path.
+//
+// Two heuristics trigger a move:
+//
+//   - pressure gap: the hottest node runs at least MinGap more containers
+//     than the coldest node that could host one of them. Spreading the
+//     pool directly attacks the co-location contention the paper
+//     measures ("reducing the overlap between jobs").
+//   - straggler: a node's mean growth efficiency fell below
+//     StragglerFactor of the cluster mean while a less crowded node has
+//     room. The node is burning CPU on containers that no longer convert
+//     it into progress; evicting the worst of them is the SLAQ-style
+//     quality-driven prioritization applied cluster-wide.
+//
+// Victim selection is GE-aware: among the source's movable containers
+// (running, not finishing, with at least one measured GE interval) the
+// one with the lowest recent growth efficiency moves — the job that loses
+// least from the freeze/transfer/thaw stall, by the paper's own metric.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/flowcon"
+	"repro/internal/sim"
+)
+
+// Config tunes the Rebalancer. The zero value gets the documented
+// defaults at Attach time.
+type Config struct {
+	// Interval is the scan period in seconds (default 20). Like the
+	// paper's executor interval, it bounds the policy's reaction time.
+	Interval float64
+	// MinGap is the minimum running-container gap between the hottest and
+	// coldest node before a pressure-gap move triggers (default 2 — a gap
+	// of 1 would oscillate).
+	MinGap int
+	// StragglerFactor triggers a straggler move when a node's mean GE
+	// falls below this fraction of the cluster mean (default 0.5).
+	StragglerFactor float64
+	// MaxMovesPerScan caps migrations per scan (default 1); the next scan
+	// re-evaluates against the post-move state instead of committing to a
+	// stale plan.
+	MaxMovesPerScan int
+	// GEWindow is how many recent GE measurements are kept per container
+	// and attached to its checkpoint on migration (default 3).
+	GEWindow int
+	// Cost is the freeze/transfer/thaw model charged per migration. The
+	// zero value is replaced by cluster.DefaultMigrationCost() — unlike
+	// cluster.MigrationSpec.Cost, a literally free move is not
+	// expressible here (use a tiny FreezeSec if an experiment needs one).
+	Cost cluster.MigrationCost
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 20
+	}
+	if c.MinGap == 0 {
+		c.MinGap = 2
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 0.5
+	}
+	if c.MaxMovesPerScan == 0 {
+		c.MaxMovesPerScan = 1
+	}
+	if c.GEWindow == 0 {
+		c.GEWindow = 3
+	}
+	if c.Cost == (cluster.MigrationCost{}) {
+		c.Cost = cluster.DefaultMigrationCost()
+	}
+	return c
+}
+
+// Validate rejects out-of-domain knobs with a named field.
+func (c Config) Validate() error {
+	if c.Interval < 0 {
+		return fmt.Errorf("migrate: negative interval %g", c.Interval)
+	}
+	if c.MinGap < 0 {
+		return fmt.Errorf("migrate: negative min gap %d", c.MinGap)
+	}
+	if c.StragglerFactor < 0 || c.StragglerFactor >= 1 {
+		return fmt.Errorf("migrate: straggler factor %g outside [0, 1)", c.StragglerFactor)
+	}
+	if c.MaxMovesPerScan < 0 {
+		return fmt.Errorf("migrate: negative move cap %d", c.MaxMovesPerScan)
+	}
+	if c.GEWindow < 0 {
+		return fmt.Errorf("migrate: negative GE window %d", c.GEWindow)
+	}
+	return nil
+}
+
+// Plan is one decided migration: which job moves where, and why.
+type Plan struct {
+	// Job is the job label (= container name) to move.
+	Job string
+	// Src and Dst are the worker names.
+	Src, Dst string
+	// G is the victim's most recent growth efficiency.
+	G float64
+	// GEHistory is the victim's recent GE trail (oldest first).
+	GEHistory []float64
+	// Reason is "pressure-gap" or "straggler".
+	Reason string
+}
+
+// Rebalancer is the cluster-level policy. It implements
+// sched.ClusterPolicy; create with New, wire with AttachCluster (or let
+// experiment.Spec.ClusterPolicy do it).
+type Rebalancer struct {
+	cfg     Config
+	engine  *sim.Engine
+	manager *cluster.Manager
+
+	// monitors derive per-interval growth efficiency per worker, exactly
+	// like the worker-local container monitor but at cluster scope.
+	monitors []*flowcon.Monitor
+	// ge holds each container's recent GE measurements (oldest first),
+	// keyed by container id. A migrated container gets a fresh id and so
+	// starts over — built-in hysteresis against ping-ponging.
+	ge map[string][]float64
+
+	scans    int
+	plans    int
+	executed int
+}
+
+// New creates a rebalancer; the zero-value fields of cfg get defaults.
+// Invalid configurations panic — the rebalancer is wired at experiment
+// setup, where a bad knob is a programming error.
+func New(cfg Config) *Rebalancer {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Rebalancer{cfg: cfg.withDefaults(), ge: make(map[string][]float64)}
+}
+
+// Name implements sched.ClusterPolicy.
+func (r *Rebalancer) Name() string { return "GE-Rebalancer" }
+
+// Config returns the effective (defaulted) configuration.
+func (r *Rebalancer) Config() Config { return r.cfg }
+
+// Scans returns how many periodic scans have run.
+func (r *Rebalancer) Scans() int { return r.scans }
+
+// Plans returns how many migrations the heuristics decided.
+func (r *Rebalancer) Plans() int { return r.plans }
+
+// Executed returns how many decided migrations the manager accepted.
+func (r *Rebalancer) Executed() int { return r.executed }
+
+// AttachCluster implements sched.ClusterPolicy: it binds the rebalancer
+// to the manager and starts the periodic scan.
+func (r *Rebalancer) AttachCluster(engine *sim.Engine, m *cluster.Manager) {
+	if r.manager != nil {
+		panic("migrate: rebalancer attached twice")
+	}
+	r.engine = engine
+	r.manager = m
+	r.monitors = make([]*flowcon.Monitor, len(m.Workers()))
+	for i := range r.monitors {
+		r.monitors[i] = flowcon.NewMonitor()
+	}
+	var tick func()
+	tick = func() {
+		r.scans++
+		for _, p := range r.Scan() {
+			r.plans++
+			if r.execute(p) {
+				r.executed++
+			}
+		}
+		engine.After(r.cfg.Interval, sim.PriorityExecutor, "migrate.scan", tick)
+	}
+	engine.After(r.cfg.Interval, sim.PriorityExecutor, "migrate.scan", tick)
+}
+
+// workerState is one worker's snapshot during a scan.
+type workerState struct {
+	worker *cluster.Worker
+	// running is the container count (the pressure signal).
+	running int
+	// geSum/geN aggregate the measured GEs of the worker's containers.
+	geSum float64
+	geN   int
+	// movable are candidate victims sorted by ascending recent GE.
+	movable []victim
+	// stragglerHit marks a source chosen by the straggler heuristic.
+	stragglerHit bool
+}
+
+type victim struct {
+	job string
+	g   float64
+}
+
+// meanGE returns the worker's mean measured growth efficiency and whether
+// any container was measurable.
+func (ws *workerState) meanGE() (float64, bool) {
+	if ws.geN == 0 {
+		return 0, false
+	}
+	return ws.geSum / float64(ws.geN), true
+}
+
+// Scan samples every worker, updates the GE histories, and returns the
+// migrations the heuristics decide against the current state (capped by
+// MaxMovesPerScan). It does not execute them; AttachCluster's tick does.
+// Everything iterates in worker/creation order, so scans are
+// deterministic.
+func (r *Rebalancer) Scan() []Plan {
+	if r.manager == nil {
+		panic("migrate: Scan before AttachCluster")
+	}
+	now := float64(r.engine.Now())
+	workers := r.manager.Workers()
+	states := make([]workerState, len(workers))
+	seen := make(map[string]bool)
+	for i, w := range workers {
+		ws := &states[i]
+		ws.worker = w
+		if w.Failed() {
+			continue
+		}
+		ws.running = w.RunningCount()
+		stats := w.RunningStats()
+		measurements := r.monitors[i].Collect(now, stats)
+		for _, mm := range measurements {
+			seen[mm.ID] = true
+			if !mm.Defined {
+				continue
+			}
+			hist := append(r.ge[mm.ID], mm.G)
+			if len(hist) > r.cfg.GEWindow {
+				hist = hist[len(hist)-r.cfg.GEWindow:]
+			}
+			r.ge[mm.ID] = hist
+			ws.geSum += mm.G
+			ws.geN++
+		}
+		// Candidate victims: running containers with at least one measured
+		// interval. A container measured this scan keeps its job name
+		// reachable through the daemon's pool (names are job labels).
+		for _, c := range w.Daemon().PS(false) {
+			hist, ok := r.ge[c.ID()]
+			if !ok || len(hist) == 0 || c.Workload().Done() {
+				continue
+			}
+			ws.movable = append(ws.movable, victim{job: c.Name(), g: hist[len(hist)-1]})
+		}
+		sortVictims(ws.movable)
+	}
+	// Forget containers that disappeared since the last scan (finished,
+	// failed, or mid-migration): their ids never come back.
+	for id := range r.ge {
+		if !seen[id] {
+			delete(r.ge, id)
+		}
+	}
+	return r.decide(states)
+}
+
+// decide applies the pressure-gap and straggler heuristics to a snapshot.
+func (r *Rebalancer) decide(states []workerState) []Plan {
+	var plans []Plan
+	clusterSum, clusterN := 0.0, 0
+	for i := range states {
+		clusterSum += states[i].geSum
+		clusterN += states[i].geN
+	}
+	for len(plans) < r.cfg.MaxMovesPerScan {
+		src := r.pickSource(states, clusterSum, clusterN, len(plans) == 0)
+		if src == nil {
+			break
+		}
+		plan, ok := r.planMove(states, src)
+		if !ok {
+			break
+		}
+		plans = append(plans, plan)
+		// Account the move so a multi-move scan converges instead of
+		// re-picking the same pair.
+		src.running--
+		src.movable = src.movable[1:]
+		for i := range states {
+			if states[i].worker.Name() == plan.Dst {
+				states[i].running++
+			}
+		}
+	}
+	return plans
+}
+
+// pickSource returns the worker to unload, or nil if the cluster is
+// balanced. Pressure gap dominates; the straggler check (only meaningful
+// with GE data) runs once per scan.
+func (r *Rebalancer) pickSource(states []workerState, clusterSum float64, clusterN int, allowStraggler bool) *workerState {
+	var hottest, coldest *workerState
+	for i := range states {
+		ws := &states[i]
+		if ws.worker.Failed() {
+			continue
+		}
+		if len(ws.movable) > 0 && ws.running >= 2 &&
+			(hottest == nil || ws.running > hottest.running) {
+			hottest = ws
+		}
+		if !ws.worker.Cordoned() && (coldest == nil || ws.running < coldest.running) {
+			coldest = ws
+		}
+	}
+	if hottest == nil || coldest == nil {
+		return nil
+	}
+	if hottest.running-coldest.running >= r.cfg.MinGap {
+		return hottest
+	}
+	if !allowStraggler || clusterN == 0 {
+		return nil
+	}
+	clusterMean := clusterSum / float64(clusterN)
+	for i := range states {
+		ws := &states[i]
+		if ws.worker.Failed() || len(ws.movable) == 0 || ws.running < 2 {
+			continue
+		}
+		mean, ok := ws.meanGE()
+		if !ok || mean >= r.cfg.StragglerFactor*clusterMean {
+			continue
+		}
+		// Straggling node: only worth unloading if somewhere is strictly
+		// less crowded.
+		if coldest.running < ws.running {
+			ws.stragglerHit = true
+			return ws
+		}
+	}
+	return nil
+}
+
+// planMove picks the source's lowest-GE victim and the best-fit coldest
+// destination able to host it.
+func (r *Rebalancer) planMove(states []workerState, src *workerState) (Plan, bool) {
+	v := src.movable[0]
+	c, err := src.worker.Daemon().Lookup(v.job)
+	if err != nil {
+		return Plan{}, false
+	}
+	profile, ok := r.manager.ProfileOf(v.job)
+	if !ok {
+		return Plan{}, false
+	}
+	var dst *workerState
+	for i := range states {
+		ws := &states[i]
+		if ws == src || !ws.worker.CanHost(profile) {
+			continue
+		}
+		if ws.running >= src.running-1 {
+			// The move must strictly reduce the imbalance, or the next
+			// scan would just move it back.
+			continue
+		}
+		if dst == nil || ws.running < dst.running {
+			dst = ws
+		}
+	}
+	if dst == nil {
+		return Plan{}, false
+	}
+	reason := "pressure-gap"
+	if src.stragglerHit {
+		reason = "straggler"
+	}
+	return Plan{
+		Job:       v.job,
+		Src:       src.worker.Name(),
+		Dst:       dst.worker.Name(),
+		G:         v.g,
+		GEHistory: append([]float64(nil), r.ge[c.ID()]...),
+		Reason:    reason,
+	}, true
+}
+
+// execute hands one plan to the manager.
+func (r *Rebalancer) execute(p Plan) bool {
+	var dst *cluster.Worker
+	for _, w := range r.manager.Workers() {
+		if w.Name() == p.Dst {
+			dst = w
+			break
+		}
+	}
+	if dst == nil {
+		return false
+	}
+	err := r.manager.Migrate(cluster.MigrationSpec{
+		Job:       p.Job,
+		Dst:       dst,
+		Cost:      r.cfg.Cost,
+		GEHistory: p.GEHistory,
+	})
+	return err == nil
+}
+
+// sortVictims orders candidates by ascending recent GE, ties by job name.
+func sortVictims(vs []victim) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].g != vs[j].g {
+			return vs[i].g < vs[j].g
+		}
+		return vs[i].job < vs[j].job
+	})
+}

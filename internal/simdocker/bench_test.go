@@ -72,6 +72,33 @@ func BenchmarkReallocate(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointRestore measures one freeze+thaw round trip against
+// a standing pool of n: Checkpoint settles accounting, removes the
+// container and reallocates; Restore runs it again. This is the
+// daemon-side cost of one live migration (the virtual freeze/transfer/
+// thaw delay is free), ladder-tracked in BENCH_sim.json alongside the
+// manager-level Migrate benchmark in internal/migrate.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	for _, n := range poolSizes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			_, d, ids := benchDaemon(b, n)
+			id := ids[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cp, err := d.Checkpoint(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := d.Restore(cp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id = c.ID()
+			}
+		})
+	}
+}
+
 // BenchmarkRunStop measures container churn: a short-lived container
 // starting and stopping against a standing pool of n-1 — placement-time
 // name-uniqueness checks and aggregate updates are O(1)/O(log n).

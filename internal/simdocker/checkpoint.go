@@ -1,0 +1,124 @@
+package simdocker
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint is a frozen container: everything needed to resume the
+// workload on another daemon. It is the simulated equivalent of a CRIU
+// image (`docker checkpoint create` on an experimental engine) — the
+// fields mirror what a real migration would serialize (job identity,
+// progress, memory image), plus the growth-efficiency history the
+// cluster rebalancer attaches so the signal that justified the move
+// travels with the container.
+//
+// The workload itself rides along as a live reference: in this
+// in-process reproduction "serialization" is a change of ownership, and
+// carrying the object preserves the job's noise trajectory and delivered
+// work exactly. A checkpoint must be restored at most once.
+type Checkpoint struct {
+	// ID is the container id the checkpoint was taken from (the restored
+	// container gets a fresh id on the destination daemon).
+	ID string
+	// Name is the user-visible container name — the cluster's job label —
+	// which the restored container keeps.
+	Name string
+	// Image is the container's image reference; the destination daemon
+	// must have it pulled.
+	Image string
+	// CPULimit is the soft limit in (0,1] at freeze time.
+	CPULimit float64
+	// MemoryBytes is the resident footprint at freeze time — the size of
+	// the memory image a real migration would copy, which the migration
+	// cost model charges transfer time for.
+	MemoryBytes float64
+	// Work is the CPU work delivered to the workload before the freeze.
+	Work float64
+	// ProgressFrac is Work/(Work+Remaining) at freeze time, in [0, 1];
+	// NaN-free: 0 when neither quantity is knowable.
+	ProgressFrac float64
+	// GEHistory is the container's recent growth-efficiency trail (oldest
+	// first), attached by whoever decided the migration. The daemon does
+	// not populate it — growth efficiency is a policy-layer signal.
+	GEHistory []float64
+	// FrozenAt is the virtual time of the freeze.
+	FrozenAt sim.Time
+
+	// workload is the live workload, moved to the restoring daemon.
+	workload Workload
+	restored bool
+}
+
+// Workload exposes the frozen workload (tests inspect progress through it).
+func (cp *Checkpoint) Workload() Workload { return cp.workload }
+
+// Checkpoint freezes a running container: accounting is settled, the
+// container exits (subscribers observe the departure, exactly as they
+// would a `docker checkpoint` that stops the task), and it is removed
+// from the pool so its name frees up for a later return to this node.
+// The returned snapshot can be restored onto any daemon with the image
+// pulled — including this one.
+func (d *Daemon) Checkpoint(id string) (*Checkpoint, error) {
+	c, ok := d.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.state != Running {
+		return nil, fmt.Errorf("%w: %s", ErrNotRunning, id)
+	}
+	d.settle()
+	cp := &Checkpoint{
+		ID:          c.id,
+		Name:        c.name,
+		Image:       c.image,
+		CPULimit:    c.cpuLimit,
+		MemoryBytes: c.memBytes,
+		FrozenAt:    d.engine.Now(),
+		workload:    c.workload,
+	}
+	if wr, ok := c.workload.(interface{ Work() float64 }); ok {
+		cp.Work = wr.Work()
+	}
+	if rem, known := remainingWork(c.workload); known && cp.Work+rem > 0 {
+		cp.ProgressFrac = cp.Work / (cp.Work + rem)
+	}
+	d.exit(c)
+	// The frozen container leaves the pool entirely (unlike a plain stop,
+	// which leaves an exited husk behind for `docker ps -a`): its state
+	// now lives in the checkpoint, and keeping the name reserved here
+	// would block a failure-recovery or drain fallback from restoring the
+	// job back onto this node.
+	if err := d.Remove(c.id); err != nil {
+		panic(fmt.Sprintf("simdocker: removing frozen container: %v", err))
+	}
+	d.reallocate()
+	return cp, nil
+}
+
+// Restore thaws a checkpoint into a new running container on this daemon.
+// The workload resumes exactly where the freeze left it; the container
+// keeps its name and soft limit but gets a fresh id (real restores create
+// a new container from the image too). A checkpoint restores at most
+// once — the workload is live state, and running it in two containers
+// would double-deliver its work.
+func (d *Daemon) Restore(cp *Checkpoint) (*Container, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("simdocker: restore of nil checkpoint")
+	}
+	if cp.restored {
+		return nil, fmt.Errorf("simdocker: checkpoint of %s already restored", cp.Name)
+	}
+	c, err := d.Run(RunSpec{
+		Image:    cp.Image,
+		Name:     cp.Name,
+		Workload: cp.workload,
+		CPULimit: cp.CPULimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp.restored = true
+	return c, nil
+}
