@@ -8,7 +8,7 @@ FUZZTIME ?= 20s
 # Per-benchmark budget for bench-json (CI smoke passes 1x).
 BENCHTIME ?= 1s
 
-.PHONY: all build test race bench bench-json fmt vet cover fuzz determinism ci
+.PHONY: all build test race bench bench-json bench-compare bench-compare-base fmt vet cover fuzz determinism ci
 
 all: build test
 
@@ -27,10 +27,24 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Record the perf trajectory: hot-path microbenchmarks (sim, simdocker,
-# flowcon; 16/64/256 containers per node) plus the cluster-scale scenario,
-# written as BENCH_sim.json. See README "Performance".
+# flowcon, migrate; 16/64/256 containers per node) plus the cluster-scale
+# scenario on the serial engine and the sharded executor, appended as a
+# per-commit entry to BENCH_sim.json. See README "Performance".
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_sim.json
+
+# Regression gate against the committed BENCH_sim.json: meaningful on the
+# box that recorded the committed baseline (ns/op from different machines
+# are incomparable). CI uses bench-compare-base instead.
+bench-compare:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out $$dir/fresh.json && \
+	$(GO) run ./cmd/benchcompare -old BENCH_sim.json -new $$dir/fresh.json
+
+# Same-runner regression gate: benchmark the merge base AND the working
+# tree on this machine and compare — the form CI runs on every PR.
+bench-compare-base:
+	BENCHTIME=$(BENCHTIME) ./scripts/bench-compare-base.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -47,15 +61,19 @@ cover:
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # The whole scenario registry (including the migration scenarios) must
-# render byte-identically at pool widths 1 and 8 — the sweep-sharding
-# guarantee CI enforces on every PR.
+# render byte-identically at sweep pool widths 1 and 8 AND between the
+# serial engine and the sharded intra-run executor — the two determinism
+# guarantees CI enforces on every PR.
 determinism:
 	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) build -o $$dir/flowcon-sim ./cmd/flowcon-sim && \
 	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 1 > $$dir/serial.out && \
 	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 8 > $$dir/parallel.out && \
 	cmp $$dir/serial.out $$dir/parallel.out && \
-	echo "scenario output is byte-identical at -parallel 1 and 8"
+	echo "scenario output is byte-identical at -parallel 1 and 8" && \
+	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 1 -shard-sim 8 > $$dir/sharded.out && \
+	cmp $$dir/serial.out $$dir/sharded.out && \
+	echo "scenario output is byte-identical at -shard-sim 1 and 8"
 
 # Short smoke run of every native fuzz target (the corpus under
 # testdata/fuzz runs as regular tests too).

@@ -49,6 +49,21 @@
 // ctx cancellation, and reports progress through SweepOptions.Observer.
 // The flowcon-sim command exposes the pool width as -parallel N.
 //
+// # Sharded simulation
+//
+// Sweep parallelizes across runs; Spec.SimShards parallelizes inside one:
+// every worker's events ride a private lane, lanes execute concurrently
+// inside conservative epochs bounded by the next cluster-level event
+// (arrival, migration, failure, drain, rebalancer scan), and epoch merges
+// are deterministic, so output stays byte-identical to the serial engine
+// at any shard count:
+//
+//	spec.SimShards = -1 // auto: one goroutine per core
+//	res := repro.Run(spec)
+//
+// The flowcon-sim command exposes it as -shard-sim N (0 = auto). A single
+// 256-worker run then scales with cores instead of pinning one.
+//
 // See the runnable programs under examples/ for complete scenarios.
 package repro
 

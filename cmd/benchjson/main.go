@@ -1,22 +1,28 @@
 // Command benchjson records the repo's perf trajectory: it runs the
 // simulation hot-path microbenchmarks (event cancellation, daemon
-// settle/reallocate, Algorithm 1) across the 16/64/256 containers-per-node
-// ladder, runs the cluster-scale scenario end to end, and writes the
-// results as one JSON document (BENCH_sim.json at the repo root).
+// settle/reallocate, Algorithm 1, the migration ladder, sharded lanes)
+// across the 16/64/256 containers-per-node ladder, runs the cluster-scale
+// scenario end to end on both the serial engine and the sharded executor,
+// and appends the results as one per-commit entry to BENCH_sim.json.
 //
 // Usage:
 //
-//	benchjson [-out BENCH_sim.json] [-benchtime 1s] [-parallel N]
+//	benchjson [-out BENCH_sim.json] [-benchtime 1s] [-parallel N] [-shards N]
 //
-// The microbenchmarks go through `go test -bench`, so the recorded numbers
-// are exactly what a developer sees locally; the scenario runs in-process.
-// CI runs this with -benchtime=1x as a smoke check and uploads the
-// artifact, so every PR leaves a comparable perf data point.
+// BENCH_sim.json is a history document (internal/benchfile, schema 2):
+// every invocation appends an entry stamped with the current git revision,
+// preserving the prior points, so the file records the cross-PR trajectory
+// machine-readably. A legacy single-entry document (schema 1) is migrated
+// in place on first append. The microbenchmarks go through
+// `go test -bench`, so the recorded numbers are exactly what a developer
+// sees locally; the scenarios run in-process. CI runs this with
+// -benchtime=1x as a smoke check and uploads the artifact, and
+// `make bench-compare` diffs a fresh run against the committed history to
+// gate regressions.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -26,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfile"
 	"repro/internal/experiment"
 )
 
@@ -42,48 +49,6 @@ var benchPackages = []string{
 // scenarioName is the registered cluster-scale stress scenario.
 const scenarioName = "cluster-scale"
 
-// Benchmark is one parsed `go test -bench` result line.
-type Benchmark struct {
-	// Name is the benchmark id without the GOMAXPROCS suffix,
-	// e.g. "Settle/256".
-	Name string `json:"name"`
-	// Package is the Go package the benchmark lives in.
-	Package string `json:"package"`
-	// Iterations is b.N for the recorded run.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the headline nanoseconds per operation.
-	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics carries any custom b.ReportMetric values by unit.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// ScenarioResult is the cluster-scale run's recorded outcome.
-type ScenarioResult struct {
-	Name        string  `json:"name"`
-	Seed        int64   `json:"seed"`
-	Workers     int     `json:"workers"`
-	Jobs        int     `json:"jobs"`
-	MakespanSec float64 `json:"makespan_sec"`
-	Completed   bool    `json:"completed"`
-	// WallSec is the host wall-clock cost of simulating the scenario —
-	// the quantity the perf trajectory tracks.
-	WallSec float64 `json:"wall_sec"`
-	// SimulatedPerWallSec is virtual seconds simulated per wall second.
-	SimulatedPerWallSec float64 `json:"simulated_per_wall_sec"`
-}
-
-// Report is the BENCH_sim.json document.
-type Report struct {
-	SchemaVersion int            `json:"schema_version"`
-	GeneratedAt   string         `json:"generated_at"`
-	GoVersion     string         `json:"go_version"`
-	GOOS          string         `json:"goos"`
-	GOARCH        string         `json:"goarch"`
-	BenchTime     string         `json:"benchtime"`
-	Benchmarks    []Benchmark    `json:"benchmarks"`
-	Scenario      ScenarioResult `json:"scenario"`
-}
-
 // benchLine matches `BenchmarkName-8   123   456.7 ns/op  [value unit]...`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S+)\s+ns/op(.*)$`)
 
@@ -91,8 +56,12 @@ func main() {
 	out := "BENCH_sim.json"
 	benchtime := "1s"
 	parallel := runtime.GOMAXPROCS(0)
+	shards := runtime.GOMAXPROCS(0)
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
+		if i+1 >= len(args) {
+			fatalf("flag %s needs a value (usage: benchjson [-out file] [-benchtime 1s] [-parallel N] [-shards N])", args[i])
+		}
 		switch args[i] {
 		case "-out":
 			i++
@@ -107,46 +76,75 @@ func main() {
 				fatalf("bad -parallel %q", args[i])
 			}
 			parallel = n
+		case "-shards":
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				fatalf("bad -shards %q", args[i])
+			}
+			shards = n
 		default:
-			fatalf("unknown flag %q (usage: benchjson [-out file] [-benchtime 1s] [-parallel N])", args[i])
+			fatalf("unknown flag %q (usage: benchjson [-out file] [-benchtime 1s] [-parallel N] [-shards N])", args[i])
 		}
 	}
 	experiment.SetDefaultParallelism(parallel)
 
-	rep := Report{
-		SchemaVersion: 1,
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		BenchTime:     benchtime,
+	entry := benchfile.Entry{
+		Commit:      gitCommit(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchTime:   benchtime,
 	}
 
 	var err error
-	rep.Benchmarks, err = runBenchmarks(benchtime)
+	entry.Benchmarks, err = runBenchmarks(benchtime)
 	if err != nil {
 		fatalf("microbenchmarks: %v", err)
 	}
-	rep.Scenario, err = runScenario()
-	if err != nil {
-		fatalf("scenario: %v", err)
+	// The scenario runs twice: the serial engine is the baseline the
+	// trajectory has always tracked; the sharded run records what the
+	// epoch-parallel executor buys on this box (bounded by GOMAXPROCS).
+	for _, simShards := range []int{1, shards} {
+		sr, err := runScenario(simShards)
+		if err != nil {
+			fatalf("scenario (shards=%d): %v", simShards, err)
+		}
+		entry.Scenarios = append(entry.Scenarios, sr)
+		if simShards == shards && shards == 1 {
+			break // one core: the second run would duplicate the first
+		}
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	rep, err := benchfile.Load(out)
 	if err != nil {
-		fatalf("marshal: %v", err)
+		// Missing or unreadable history starts fresh; a malformed existing
+		// document is replaced rather than silently discarded mid-file.
+		rep = benchfile.Report{SchemaVersion: benchfile.SchemaVersion}
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
+	rep.Entries = append(rep.Entries, entry)
+	if err := rep.Write(out); err != nil {
 		fatalf("write: %v", err)
 	}
-	fmt.Printf("wrote %s: %d benchmarks, scenario %s (%d jobs, %.1fs wall)\n",
-		out, len(rep.Benchmarks), rep.Scenario.Name, rep.Scenario.Jobs, rep.Scenario.WallSec)
+	last := entry.Scenarios[len(entry.Scenarios)-1]
+	fmt.Printf("appended entry %s to %s: %d benchmarks, %d scenario runs (last: shards=%d, %.1fs wall), %d entries total\n",
+		entry.Commit, out, len(entry.Benchmarks), len(entry.Scenarios), last.SimShards, last.WallSec, len(rep.Entries))
+}
+
+// gitCommit returns the abbreviated HEAD revision, or "unknown".
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // runBenchmarks shells out to `go test -bench` and parses the result
 // lines, tracking the current package from the interleaved `pkg:` header.
-func runBenchmarks(benchtime string) ([]Benchmark, error) {
+func runBenchmarks(benchtime string) ([]benchfile.Benchmark, error) {
 	cmd := exec.Command("go", append([]string{
 		"test", "-run", "^$", "-bench", ".", "-benchtime", benchtime,
 	}, benchPackages...)...)
@@ -155,7 +153,7 @@ func runBenchmarks(benchtime string) ([]Benchmark, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
-	var benches []Benchmark
+	var benches []benchfile.Benchmark
 	pkg := ""
 	for _, line := range strings.Split(string(raw), "\n") {
 		line = strings.TrimSpace(line)
@@ -175,7 +173,7 @@ func runBenchmarks(benchtime string) ([]Benchmark, error) {
 		if err != nil {
 			continue
 		}
-		b := Benchmark{
+		b := benchfile.Benchmark{
 			Name:       strings.TrimPrefix(m[1], "Benchmark"),
 			Package:    pkg,
 			Iterations: iters,
@@ -201,30 +199,34 @@ func runBenchmarks(benchtime string) ([]Benchmark, error) {
 	return benches, nil
 }
 
-// runScenario executes the cluster-scale scenario once (seed 1) and
-// records both the simulated outcome and its wall-clock cost.
-func runScenario() (ScenarioResult, error) {
+// runScenario executes the cluster-scale scenario once (seed 1) at the
+// given shard count and records both the simulated outcome and its
+// wall-clock cost.
+func runScenario(simShards int) (benchfile.ScenarioResult, error) {
 	scen, ok := experiment.ScenarioByName(scenarioName)
 	if !ok {
-		return ScenarioResult{}, fmt.Errorf("scenario %q not registered", scenarioName)
+		return benchfile.ScenarioResult{}, fmt.Errorf("scenario %q not registered", scenarioName)
 	}
+	scen.SimShards = simShards
 	const seed = 1
 	start := time.Now()
 	outs, err := experiment.RunScenarios(context.Background(),
 		[]experiment.Scenario{scen}, []int64{seed}, experiment.SweepOptions{})
 	if err != nil {
-		return ScenarioResult{}, err
+		return benchfile.ScenarioResult{}, err
 	}
 	wall := time.Since(start).Seconds()
 	rep := outs[0].Reports[0]
 	if rep.Err != nil {
-		return ScenarioResult{}, rep.Err
+		return benchfile.ScenarioResult{}, rep.Err
 	}
 	res := rep.Result
-	sr := ScenarioResult{
+	sr := benchfile.ScenarioResult{
 		Name:        scenarioName,
 		Seed:        seed,
 		Workers:     scen.Workers,
+		SimShards:   res.SimShards,
+		SimBatches:  res.SimBatches,
 		Jobs:        res.Submitted,
 		MakespanSec: res.Makespan,
 		Completed:   res.Completed,

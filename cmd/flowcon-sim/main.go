@@ -6,8 +6,8 @@
 //
 //	flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
 //	flowcon-sim -scenario-list
-//	flowcon-sim [-parallel N] [-seeds N] [-record dir] -scenario <name[,name...]|all>
-//	flowcon-sim [-workers N] -replay trace.jsonl
+//	flowcon-sim [-parallel N] [-shard-sim N] [-seeds N] [-record dir] -scenario <name[,name...]|all>
+//	flowcon-sim [-workers N] [-shard-sim N] -replay trace.jsonl
 //
 // where <experiment> is one of: fig1, fig3, fig4, fig5, fig6, fig7, fig8,
 // fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, table1,
@@ -19,6 +19,11 @@
 // diurnal cycles, flash crowds, plus the paper's schedules) from the
 // named registry; -record writes each generated schedule as a replayable
 // JSONL trace and -replay runs such a trace (generated or hand-written).
+// -shard-sim N runs each simulation on per-worker event lanes that
+// execute in parallel inside conservative epochs (0 = auto/GOMAXPROCS);
+// output stays byte-identical to the serial engine at any shard count.
+// -cpuprofile/-memprofile capture pprof profiles in every mode (see the
+// README's Profiling subsection).
 // The cluster-scale scenario (256 workers, thousands of jobs) is the
 // perf-baseline workload that `make bench-json` records in BENCH_sim.json;
 // see the README's Performance section.
@@ -30,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -52,8 +58,42 @@ func main() {
 		"with -scenario: attach the GE-aware migration rebalancer to scenarios that do not already define a cluster policy")
 	migrationCost := flag.Float64("migration-cost", 0,
 		"with -scenario: fixed freeze+thaw seconds charged per live migration (0 = calibrated default; transfer time from memory size is added on top)")
+	shardSim := flag.Int("shard-sim", 1,
+		"per-run event-lane parallelism: worker lanes execute in parallel inside one simulation (0 = auto/GOMAXPROCS, 1 = serial engine); output is byte-identical at any value")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+	if *shardSim < 0 {
+		fmt.Fprintln(os.Stderr, "flowcon-sim: -shard-sim must be >= 0")
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+			}
+		}()
+	}
 	experiment.SetDefaultParallelism(*parallel)
 	// Each mode accepts only its own flags; anything else is refused
 	// rather than silently dropped.
@@ -64,11 +104,15 @@ func main() {
 	case *scenarioList:
 		mode, allowed = "-scenario-list", map[string]bool{"scenario-list": true}
 	case *replay != "":
-		mode, allowed = "-replay", map[string]bool{"replay": true, "workers": true, "parallel": true}
+		mode, allowed = "-replay", map[string]bool{"replay": true, "workers": true, "parallel": true,
+			"shard-sim": true}
 	case *scenario != "":
 		mode, allowed = "-scenario", map[string]bool{"scenario": true, "seeds": true, "record": true,
-			"parallel": true, "rebalance": true, "migration-cost": true}
+			"parallel": true, "rebalance": true, "migration-cost": true, "shard-sim": true}
 	}
+	// The profiling flags apply to every mode.
+	allowed["cpuprofile"] = true
+	allowed["memprofile"] = true
 	for name := range set {
 		if !allowed[name] {
 			fmt.Fprintf(os.Stderr, "flowcon-sim: flag -%s does not apply in %s mode\n", name, mode)
@@ -84,7 +128,7 @@ func main() {
 		return
 	}
 	if *replay != "" {
-		runReplay(*replay, *replayWorkers)
+		runReplay(*replay, *replayWorkers, *shardSim)
 		return
 	}
 	if *scenario != "" {
@@ -98,6 +142,7 @@ func main() {
 		}
 		scens := resolveScenarios(*scenario)
 		applyMigrationFlags(scens, *rebalance, *migrationCost)
+		applyShardSim(scens, *shardSim)
 		runScenarios(scens, experiment.ScenarioSeeds(*seeds), *record)
 		return
 	}
@@ -144,9 +189,14 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
        flowcon-sim -scenario-list
-       flowcon-sim [-parallel N] [-seeds N] [-record dir] [-rebalance]
-                   [-migration-cost sec] -scenario <name[,...]|all>
-       flowcon-sim [-workers N] -replay trace.jsonl
+       flowcon-sim [-parallel N] [-shard-sim N] [-seeds N] [-record dir]
+                   [-rebalance] [-migration-cost sec] -scenario <name[,...]|all>
+       flowcon-sim [-workers N] [-shard-sim N] -replay trace.jsonl
+
+-parallel N  sweeps runs across a worker pool; -shard-sim N parallelizes
+inside each run (per-worker event lanes, 0 = auto/GOMAXPROCS, 1 = serial
+engine). Output is byte-identical at any width of either. -cpuprofile and
+-memprofile write pprof profiles in every mode.
 
 experiments:
   fig1      training progress of five models (motivation)

@@ -75,6 +75,20 @@ func applyMigrationFlags(scens []experiment.Scenario, rebalance bool, costSec fl
 	}
 }
 
+// applyShardSim folds -shard-sim into the selected scenario copies
+// (0 = auto, resolved by the runner to GOMAXPROCS).
+func applyShardSim(scens []experiment.Scenario, shards int) {
+	if shards == 1 {
+		return // serial engine, the default
+	}
+	if shards == 0 {
+		shards = -1 // Spec.SimShards auto
+	}
+	for i := range scens {
+		scens[i].SimShards = shards
+	}
+}
+
 // runScenarios executes the selected scenarios across the sweep pool and
 // renders the summary table. With -record dir it also writes each
 // (scenario, seed) schedule as a replayable JSONL trace; the recorded
@@ -134,7 +148,7 @@ func recordTrace(path string, subs []workload.Submission) error {
 
 // runReplay loads a recorded (or hand-written) JSONL trace and runs it as
 // a one-off scenario under the default FlowCon setting.
-func runReplay(path string, workers int) {
+func runReplay(path string, workers, shardSim int) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
@@ -153,7 +167,9 @@ func runReplay(path string, workers int) {
 		Workload:    func(int64) []workload.Submission { return subs },
 		Workers:     workers,
 	}
-	outs, err := experiment.RunScenarios(context.Background(), []experiment.Scenario{scen},
+	scens := []experiment.Scenario{scen}
+	applyShardSim(scens, shardSim)
+	outs, err := experiment.RunScenarios(context.Background(), scens,
 		[]int64{1}, experiment.SweepOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)

@@ -1,0 +1,161 @@
+// Package benchfile defines the BENCH_sim.json perf-trajectory document
+// and the schema-tolerant loading shared by cmd/benchjson (the recorder)
+// and cmd/benchcompare (the regression gate). Keeping the schema in one
+// place means a future version bump or migration-rule change cannot drift
+// between the two commands.
+package benchfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SchemaVersion is the current document schema: an append-only history of
+// per-commit entries.
+const SchemaVersion = 2
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark id without the GOMAXPROCS suffix,
+	// e.g. "Settle/256".
+	Name string `json:"name"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics carries any custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ScenarioResult is one cluster-scale run's recorded outcome.
+type ScenarioResult struct {
+	Name    string `json:"name"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	// SimShards is the intra-run lane parallelism the run used (1 =
+	// serial engine).
+	SimShards int `json:"sim_shards"`
+	// SimBatches counts the parallel lane batches the run executed (0 for
+	// the serial engine).
+	SimBatches  int     `json:"sim_batches,omitempty"`
+	Jobs        int     `json:"jobs"`
+	MakespanSec float64 `json:"makespan_sec"`
+	Completed   bool    `json:"completed"`
+	// WallSec is the host wall-clock cost of simulating the scenario —
+	// the quantity the perf trajectory tracks.
+	WallSec float64 `json:"wall_sec"`
+	// SimulatedPerWallSec is virtual seconds simulated per wall second.
+	SimulatedPerWallSec float64 `json:"simulated_per_wall_sec"`
+}
+
+// Entry is one per-commit data point of the trajectory.
+type Entry struct {
+	// Commit is the abbreviated git revision the entry was recorded at
+	// ("unknown" outside a git checkout, "pre-history" for a migrated
+	// schema-1 document).
+	Commit      string           `json:"commit"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	GOMAXPROCS  int              `json:"gomaxprocs,omitempty"`
+	BenchTime   string           `json:"benchtime"`
+	Benchmarks  []Benchmark      `json:"benchmarks"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+}
+
+// Report is the BENCH_sim.json history document.
+type Report struct {
+	SchemaVersion int     `json:"schema_version"`
+	Entries       []Entry `json:"entries"`
+}
+
+// legacyReport is the schema-1 single-entry document, accepted on read so
+// the PR 3/PR 4 data point survives the migration to the history schema.
+type legacyReport struct {
+	SchemaVersion int            `json:"schema_version"`
+	GeneratedAt   string         `json:"generated_at"`
+	GoVersion     string         `json:"go_version"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	BenchTime     string         `json:"benchtime"`
+	Benchmarks    []Benchmark    `json:"benchmarks"`
+	Scenario      ScenarioResult `json:"scenario"`
+}
+
+// Parse decodes a document of either schema into the history form. A
+// schema-1 document becomes a single "pre-history" entry (its serial-era
+// scenario backfilled to SimShards 1).
+func Parse(raw []byte) (Report, error) {
+	var probe struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return Report{}, err
+	}
+	switch probe.SchemaVersion {
+	case 1:
+		var legacy legacyReport
+		if err := json.Unmarshal(raw, &legacy); err != nil {
+			return Report{}, err
+		}
+		if legacy.Scenario.SimShards == 0 {
+			legacy.Scenario.SimShards = 1 // pre-sharding runs were serial
+		}
+		return Report{
+			SchemaVersion: SchemaVersion,
+			Entries: []Entry{{
+				Commit:      "pre-history",
+				GeneratedAt: legacy.GeneratedAt,
+				GoVersion:   legacy.GoVersion,
+				GOOS:        legacy.GOOS,
+				GOARCH:      legacy.GOARCH,
+				BenchTime:   legacy.BenchTime,
+				Benchmarks:  legacy.Benchmarks,
+				Scenarios:   []ScenarioResult{legacy.Scenario},
+			}},
+		}, nil
+	case SchemaVersion:
+		var rep Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return Report{}, err
+		}
+		rep.SchemaVersion = SchemaVersion
+		return rep, nil
+	default:
+		return Report{}, fmt.Errorf("unknown schema_version %d", probe.SchemaVersion)
+	}
+}
+
+// Load reads and parses the document at path.
+func Load(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := Parse(raw)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Latest returns the report's most recent entry.
+func (r Report) Latest() (Entry, error) {
+	if len(r.Entries) == 0 {
+		return Entry{}, fmt.Errorf("empty benchmark history")
+	}
+	return r.Entries[len(r.Entries)-1], nil
+}
+
+// Write marshals the document to path with a trailing newline.
+func (r Report) Write(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -50,8 +50,14 @@ const DefaultMemoryBytes = 16 << 30
 // controller (or any baseline policy) can drive it directly.
 type Worker struct {
 	name   string
-	engine *sim.Engine
+	engine sim.Scheduler
 	daemon *simdocker.Daemon
+
+	// dstatScratch and statScratch are reused across RunningStats calls so
+	// the per-tick policy hot path allocates nothing in steady state. The
+	// returned slice is valid until the next call.
+	dstatScratch []simdocker.Stats
+	statScratch  []flowcon.Stat
 
 	// maxContainers caps concurrent containers for admission control
 	// (0 = unlimited).
@@ -68,8 +74,10 @@ type Worker struct {
 }
 
 // NewWorker creates a worker with the given normalized CPU capacity, the
-// testbed's 16 GB of memory, and the framework images pre-pulled.
-func NewWorker(name string, engine *sim.Engine, capacity float64) *Worker {
+// testbed's 16 GB of memory, and the framework images pre-pulled. In a
+// sharded simulation the engine is the worker's lane, so everything the
+// worker and its policy schedule stays on its shard.
+func NewWorker(name string, engine sim.Scheduler, capacity float64) *Worker {
 	w := &Worker{
 		name:   name,
 		engine: engine,
@@ -95,8 +103,9 @@ func NewWorker(name string, engine *sim.Engine, capacity float64) *Worker {
 // Name returns the worker's name.
 func (w *Worker) Name() string { return w.name }
 
-// Engine returns the simulation engine the worker runs on.
-func (w *Worker) Engine() *sim.Engine { return w.engine }
+// Engine returns the scheduler the worker runs on (the engine itself in a
+// serial simulation, the worker's lane in a sharded one).
+func (w *Worker) Engine() sim.Scheduler { return w.engine }
 
 // Daemon exposes the underlying container runtime.
 func (w *Worker) Daemon() *simdocker.Daemon { return w.daemon }
@@ -114,15 +123,13 @@ func (w *Worker) OnContainerExit(fn func(id string)) {
 }
 
 // RunningStats implements flowcon.Runtime: settled per-container counters.
+// The returned slice is scratch reused by the next call — callers (the
+// FlowCon controller, SLAQ, the rebalancer's monitors) consume it within
+// the same event and must not retain it.
 func (w *Worker) RunningStats() []flowcon.Stat {
-	w.daemon.Sync()
-	conts := w.daemon.PS(false)
-	out := make([]flowcon.Stat, 0, len(conts))
-	for _, c := range conts {
-		s, err := w.daemon.Stats(c.ID())
-		if err != nil {
-			continue
-		}
+	w.dstatScratch = w.daemon.AppendRunningStats(w.dstatScratch[:0])
+	out := w.statScratch[:0]
+	for _, s := range w.dstatScratch {
 		out = append(out, flowcon.Stat{
 			ID:          s.ID,
 			Eval:        s.Eval,
@@ -132,6 +139,7 @@ func (w *Worker) RunningStats() []flowcon.Stat {
 			MemoryBytes: s.MemoryBytes,
 		})
 	}
+	w.statScratch = out
 	return out
 }
 

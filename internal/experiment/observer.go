@@ -21,7 +21,7 @@ type observedNA struct {
 func (o *observedNA) Name() string { return "NA" }
 
 // Attach implements sched.Policy.
-func (o *observedNA) Attach(engine *sim.Engine, node sched.Node) {
+func (o *observedNA) Attach(engine sim.Scheduler, node sched.Node) {
 	if o.itval <= 0 {
 		o.itval = 20
 	}

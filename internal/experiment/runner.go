@@ -7,6 +7,8 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/flowcon"
@@ -71,6 +73,14 @@ type Spec struct {
 	// MigrationCost is the freeze/transfer/thaw model charged for drain
 	// migrations (zero value = cluster.DefaultMigrationCost()).
 	MigrationCost cluster.MigrationCost
+	// SimShards controls intra-run parallelism: each worker gets its own
+	// event lane and lanes execute concurrently inside conservative epochs
+	// bounded by the next cluster-level event, merging deterministically so
+	// output is byte-identical to the serial engine at any shard count.
+	// 0 or 1 runs the classic serial engine; N>1 uses up to N goroutines;
+	// negative means auto (GOMAXPROCS). Sharding needs at least 2 workers
+	// to have anything to parallelize.
+	SimShards int
 }
 
 // Drain schedules rolling maintenance on one worker: cordon + migrate
@@ -116,6 +126,12 @@ type Result struct {
 	Migrated int
 	// ClusterPolicy names the attached cluster-level policy ("" if none).
 	ClusterPolicy string
+	// SimShards and SimBatches record how the run executed: the resolved
+	// shard count (1 = serial engine) and how many parallel lane batches
+	// ran (0 when the run stayed serial throughout). Diagnostics only —
+	// simulation output is byte-identical regardless.
+	SimShards  int
+	SimBatches int
 }
 
 // CompletionTimes returns job name → completion time (finish − start).
@@ -216,10 +232,25 @@ func RunE(spec Spec) (*Result, error) {
 	engine := sim.NewEngine()
 	collector := metrics.NewCollector(engine, spec.SamplePeriod)
 
+	// With SimShards, each worker's events ride a private lane of the
+	// sharded executor; cluster-level machinery (manager, failures, drains,
+	// cluster policies) stays on the engine itself (lane 0).
+	shards := spec.SimShards
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	var sharded *sim.Sharded
+	laneOf := func(i int) sim.Scheduler { return engine }
+	if shards > 1 && spec.Workers > 1 {
+		sharded = sim.NewSharded(engine, spec.Workers)
+		sharded.Procs = shards
+		laneOf = func(i int) sim.Scheduler { return sharded.Lane(i) }
+	}
+
 	workers := make([]*cluster.Worker, spec.Workers)
 	policies := make([]sched.Policy, spec.Workers)
 	for i := range workers {
-		w := cluster.NewWorker(fmt.Sprintf("worker-%d", i), engine, spec.Capacity)
+		w := cluster.NewWorker(fmt.Sprintf("worker-%d", i), laneOf(i), spec.Capacity)
 		w.Daemon().SetContentionOverhead(spec.ContentionOverhead)
 		switch {
 		case spec.MemoryBytesPerWorker > 0:
@@ -233,7 +264,7 @@ func RunE(spec Spec) (*Result, error) {
 		workers[i] = w
 		collector.AttachWorker(w.Name(), w.Daemon())
 		p := spec.NewPolicy(collector)
-		p.Attach(engine, w)
+		p.Attach(laneOf(i), w)
 		policies[i] = p
 	}
 	for idx, at := range spec.Failures {
@@ -280,16 +311,17 @@ func RunE(spec Spec) (*Result, error) {
 
 	// Stop the engine the moment the last job completes; otherwise the
 	// periodic samplers and executor ticks self-schedule forever. Exits
-	// whose workload did not finish (failure kills) do not count.
+	// whose workload did not finish (failure kills) do not count. The
+	// counter is atomic because in sharded mode exits land on concurrent
+	// worker lanes.
 	submitted := len(spec.Submissions)
-	finished := 0
+	var finished atomic.Int64
 	for _, w := range workers {
 		w.Daemon().OnExit(func(c *simdocker.Container) {
 			if !c.Workload().Done() {
 				return
 			}
-			finished++
-			if finished == submitted {
+			if finished.Add(1) == int64(submitted) {
 				engine.Stop()
 			}
 		})
@@ -299,11 +331,23 @@ func RunE(spec Spec) (*Result, error) {
 		manager.Submit(sim.Time(s.At), s.Name, s.Profile)
 	}
 
-	engine.Run(sim.Time(spec.Horizon))
+	if sharded != nil {
+		// Exits interact with the cluster exactly when the manager's
+		// admission queue is non-empty (an exit schedules a same-instant
+		// drain that may place a job on any worker); near termination the
+		// executor also stays serial so the final exit stops the run at
+		// the same event the serial engine would.
+		sharded.ExitsReactive = func() bool { return manager.Queued() > 0 }
+		sharded.Remaining = func() int { return submitted - int(finished.Load()) }
+		sharded.Run(sim.Time(spec.Horizon))
+	} else {
+		engine.Run(sim.Time(spec.Horizon))
+	}
 
 	res := &Result{
 		Name:      spec.Name,
 		Policy:    policies[0].Name(),
+		SimShards: 1,
 		Jobs:      collector.Jobs(),
 		Makespan:  collector.Makespan(),
 		Submitted: manager.Submitted(),
@@ -318,6 +362,10 @@ func RunE(spec Spec) (*Result, error) {
 	}
 	if clusterPolicy != nil {
 		res.ClusterPolicy = clusterPolicy.Name()
+	}
+	if sharded != nil {
+		res.SimShards = shards
+		res.SimBatches = sharded.Batches()
 	}
 	for _, p := range policies {
 		if fc, ok := p.(*sched.FlowCon); ok && fc.Controller() != nil {

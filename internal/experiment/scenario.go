@@ -57,6 +57,10 @@ type Scenario struct {
 	// MigrationCost (zero value = cluster.DefaultMigrationCost()).
 	Drains        []Drain
 	MigrationCost cluster.MigrationCost
+	// SimShards is the intra-run event-lane parallelism (see
+	// Spec.SimShards): 0/1 serial, N>1 that many shard goroutines,
+	// negative auto (GOMAXPROCS). Output is byte-identical at any value.
+	SimShards int
 }
 
 // Setting returns the scenario's effective FlowCon setting.
@@ -85,6 +89,7 @@ func (s Scenario) Spec(seed int64) Spec {
 		ClusterPolicy:          s.ClusterPolicy,
 		Drains:                 s.Drains,
 		MigrationCost:          s.MigrationCost,
+		SimShards:              s.SimShards,
 	}
 	if s.Rebalance != nil {
 		spec.ClusterPolicy = RebalancerPolicy(*s.Rebalance)

@@ -46,6 +46,20 @@ type StepResult struct {
 // CL container gets G/ΣG floored at 1/(β·n); WL containers keep their
 // limit; NL containers get G/ΣG.
 func Step(snaps []JobSnapshot, cfg Config) StepResult {
+	return stepInto(snaps, cfg, &stepScratch{})
+}
+
+// stepScratch carries Step's reusable buffers. The Controller owns one so
+// its per-tick hot path allocates nothing in steady state; the package-
+// level Step hands out a fresh one per call, keeping its result unaliased.
+type stepScratch struct {
+	lists     []List
+	decisions []Decision
+}
+
+// stepInto is Step with caller-provided scratch. The returned Decisions
+// slice aliases the scratch and is valid until its next use.
+func stepInto(snaps []JobSnapshot, cfg Config, sc *stepScratch) StepResult {
 	cfg = cfg.withDefaults()
 	n := len(snaps)
 	if n == 0 {
@@ -53,7 +67,10 @@ func Step(snaps []JobSnapshot, cfg Config) StepResult {
 	}
 
 	// Lines 2-13: classification.
-	lists := make([]List, n)
+	if cap(sc.lists) < n {
+		sc.lists = make([]List, n)
+	}
+	lists := sc.lists[:n]
 	for i, s := range snaps {
 		lists[i] = classify(s, cfg.Alpha)
 	}
@@ -66,7 +83,10 @@ func Step(snaps []JobSnapshot, cfg Config) StepResult {
 		}
 	}
 
-	res := StepResult{Decisions: make([]Decision, n), AllCompleting: allCL}
+	if cap(sc.decisions) < n {
+		sc.decisions = make([]Decision, n)
+	}
+	res := StepResult{Decisions: sc.decisions[:n], AllCompleting: allCL}
 
 	// Lines 14-17: all completing — lift every limit, caller backs off.
 	if allCL {

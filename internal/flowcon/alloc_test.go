@@ -1,0 +1,73 @@
+package flowcon
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// allocRuntime feeds the controller advancing counters without touching a
+// daemon, isolating runAlgorithm1's own allocation behaviour.
+type allocRuntime struct{ stats []Stat }
+
+func (r *allocRuntime) RunningStats() []Stat {
+	for i := range r.stats {
+		r.stats[i].CPUSeconds += 0.5
+		r.stats[i].Eval *= 0.95
+	}
+	return r.stats
+}
+
+func (r *allocRuntime) SetCPULimit(string, float64) error { return nil }
+
+// TestRunAlgorithm1AllocsBounded is the regression guard for the executor
+// hot path: one full measure→classify→plan→apply cycle over a steady pool
+// may allocate at most the rescheduled tick Event — every other buffer
+// (monitor samples and measurements, snapshots, classification lists,
+// decisions) is scratch reused across runs. PR 3 introduced the snapshot
+// reuse; this PR extended it through the monitor and Step, and pins it so
+// it cannot silently rot.
+func TestRunAlgorithm1AllocsBounded(t *testing.T) {
+	eng := sim.NewEngine()
+	rt := &allocRuntime{}
+	for i := 0; i < 32; i++ {
+		rt.stats = append(rt.stats, Stat{ID: fmt.Sprintf("c%02d", i), Eval: 100})
+	}
+	c := NewController(Config{Alpha: 0.03, InitialInterval: 20}, eng, rt, nil)
+	c.Start()
+	horizon := sim.Time(0)
+	avg := testing.AllocsPerRun(200, func() {
+		horizon += 1
+		eng.Run(horizon)
+		c.runAlgorithm1("tick")
+	})
+	if avg > 1 {
+		t.Fatalf("runAlgorithm1 allocates %.1f objects per run, want <= 1 (the tick event)", avg)
+	}
+}
+
+// TestMonitorCollectAllocsZero guards the monitor's per-interval path in
+// isolation: steady pools must collect into reused scratch.
+func TestMonitorCollectAllocsZero(t *testing.T) {
+	m := NewMonitor()
+	var stats []Stat
+	for i := 0; i < 32; i++ {
+		stats = append(stats, Stat{ID: fmt.Sprintf("c%02d", i), Eval: 100})
+	}
+	now := 0.0
+	m.Collect(now, stats) // first pass defines the baseline
+	avg := testing.AllocsPerRun(200, func() {
+		now += 1
+		for i := range stats {
+			stats[i].CPUSeconds += 0.5
+			stats[i].Eval *= 0.95
+		}
+		if got := m.Collect(now, stats); len(got) != len(stats) {
+			t.Fatalf("collected %d measurements", len(got))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Monitor.Collect allocates %.1f objects per call, want 0", avg)
+	}
+}

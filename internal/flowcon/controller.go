@@ -47,7 +47,7 @@ type Tracer interface {
 // Algorithm 2's listeners through runtime arrival/exit notifications.
 type Controller struct {
 	cfg     Config
-	engine  *sim.Engine
+	engine  sim.Scheduler
 	runtime Runtime
 	monitor *Monitor
 	tracer  Tracer
@@ -57,19 +57,22 @@ type Controller struct {
 
 	itval       float64
 	tick        *sim.Event
+	tickFn      func()
 	pendingRun  bool
 	runs        int
 	limitUpdate int
 
-	// snapScratch and liveScratch are reused across runAlgorithm1 calls so
-	// the per-tick hot path allocates nothing in steady state.
+	// snapScratch, liveScratch and stepScratch are reused across
+	// runAlgorithm1 calls so the per-tick hot path allocates nothing in
+	// steady state.
 	snapScratch []JobSnapshot
 	liveScratch map[string]bool
+	stepScratch stepScratch
 }
 
 // NewController wires a controller to an engine and runtime. Call Start to
 // schedule the first executor tick.
-func NewController(cfg Config, engine *sim.Engine, rt Runtime, tracer Tracer) *Controller {
+func NewController(cfg Config, engine sim.Scheduler, rt Runtime, tracer Tracer) *Controller {
 	cfg = cfg.withDefaults()
 	if engine == nil || rt == nil {
 		panic("flowcon: nil engine or runtime")
@@ -159,14 +162,19 @@ func (c *Controller) requestImmediateRun(trigger string) {
 }
 
 // scheduleTick (re)schedules the periodic executor run itval seconds out.
+// The callback closure is built once and reused, so a reschedule costs
+// exactly one Event allocation.
 func (c *Controller) scheduleTick() {
 	if c.tick != nil {
 		c.tick.Cancel()
 	}
-	c.tick = c.engine.After(c.itval, sim.PriorityExecutor, "flowcon.tick", func() {
-		c.tick = nil
-		c.runAlgorithm1("tick")
-	})
+	if c.tickFn == nil {
+		c.tickFn = func() {
+			c.tick = nil
+			c.runAlgorithm1("tick")
+		}
+	}
+	c.tick = c.engine.After(c.itval, sim.PriorityExecutor, "flowcon.tick", c.tickFn)
 }
 
 // runAlgorithm1 performs one full executor cycle: measure, classify, plan,
@@ -190,7 +198,7 @@ func (c *Controller) runAlgorithm1(trigger string) {
 	}
 	c.snapScratch = snaps
 
-	res := Step(snaps, c.cfg)
+	res := stepInto(snaps, c.cfg, &c.stepScratch)
 
 	// Apply list moves and limit updates.
 	for _, d := range res.Decisions {

@@ -54,6 +54,11 @@ const usageEps = 1e-6
 // runtime dependency.
 type Monitor struct {
 	prev map[string]monitorSample
+	// spare is the previous generation's map, recycled on each Collect so
+	// the per-interval hot path allocates nothing in steady state.
+	spare map[string]monitorSample
+	// out is the reused measurement buffer returned by Collect.
+	out []Measurement
 	// primary selects which resource dimension drives the G used for
 	// classification; the paper's evaluation uses CPU.
 	primary resource.Kind
@@ -69,7 +74,11 @@ type monitorSample struct {
 
 // NewMonitor returns an empty monitor with CPU as the primary resource.
 func NewMonitor() *Monitor {
-	return &Monitor{prev: make(map[string]monitorSample), primary: resource.CPU}
+	return &Monitor{
+		prev:    make(map[string]monitorSample),
+		spare:   make(map[string]monitorSample),
+		primary: resource.CPU,
+	}
 }
 
 // SetPrimaryResource selects the dimension whose growth efficiency drives
@@ -86,14 +95,18 @@ func (m *Monitor) SetPrimaryResource(k resource.Kind) {
 // dropped from tracking (they exited). A container with no prior sample
 // yields Defined=false this round and becomes measurable the next.
 //
+// The returned slice is scratch owned by the monitor and valid only until
+// the next Collect — callers consume it within the same event.
+//
 // If now equals the previous sample time (a listener-triggered run in the
 // same instant as a scheduled one), the previous measurement basis is kept
 // and the container reports its last G via Defined=false — Algorithm 1
 // treats it like a new arrival, which keeps it in NL with full limit
 // rather than fabricating a zero-interval derivative.
 func (m *Monitor) Collect(now float64, stats []Stat) []Measurement {
-	out := make([]Measurement, 0, len(stats))
-	next := make(map[string]monitorSample, len(stats))
+	out := m.out[:0]
+	next := m.spare
+	clear(next)
 	for _, s := range stats {
 		prev, ok := m.prev[s.ID]
 		cur := monitorSample{
@@ -136,7 +149,9 @@ func (m *Monitor) Collect(now float64, stats []Stat) []Measurement {
 		out = append(out, mm)
 		next[s.ID] = cur
 	}
+	m.spare = m.prev
 	m.prev = next
+	m.out = out
 	return out
 }
 

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/flowcon"
 	"repro/internal/sim"
@@ -49,7 +50,10 @@ type Collector struct {
 	growth map[string]*Series // growth efficiency by job name
 	lists  map[string]*Series // list membership (0=NL,1=WL,2=CL) by job name
 
-	algoRuns int
+	// algoRuns is atomic: in a sharded simulation controllers on different
+	// worker lanes record runs concurrently. The total is deterministic
+	// even though the increment order is not.
+	algoRuns atomic.Int64
 }
 
 // NewCollector creates a collector sampling CPU usage every period seconds.
@@ -138,27 +142,42 @@ func (c *Collector) JobExited(cont *simdocker.Container) {
 }
 
 // AttachWorker subscribes the collector to a worker daemon's lifecycle and
-// starts the periodic CPU sampler against it.
+// starts the periodic CPU sampler against it. The sampler schedules on the
+// daemon's own scheduler, so in a sharded simulation it rides the worker's
+// lane and samples in parallel with the other shards.
 func (c *Collector) AttachWorker(name string, daemon *simdocker.Daemon) {
 	daemon.OnExit(c.JobExited)
 
 	// Per-worker differencing state lives in the sampler closure so
 	// multiple attached workers never interfere.
+	sched := daemon.Scheduler()
 	lastCPUSeconds := make(map[string]float64)
-	lastSampleAt := float64(c.engine.Now())
+	lastSampleAt := float64(sched.Now())
 	var sample func()
 	sample = func() {
-		now := float64(c.engine.Now())
+		now := float64(sched.Now())
 		daemon.Sync()
 		dt := now - lastSampleAt
-		for _, cont := range daemon.PS(true) {
+		daemon.EachContainer(func(cont *simdocker.Container) {
 			r, ok := c.byCID[cont.ID()]
 			if !ok {
-				continue
+				return
+			}
+			// Exited containers have frozen counters and a closed record:
+			// read them without the settled-stats round trip. The appended
+			// values are identical to the slow path's — the usage decays to
+			// zero one sample after the exit and stays there.
+			if r.Finished && cont.State() == simdocker.Exited {
+				if dt > 0 {
+					usage := (cont.CPUSeconds() - lastCPUSeconds[cont.ID()]) / dt
+					c.cpu[r.Name].Append(now, usage)
+				}
+				lastCPUSeconds[cont.ID()] = cont.CPUSeconds()
+				return
 			}
 			s, err := daemon.Stats(cont.ID())
 			if err != nil {
-				continue
+				return
 			}
 			if dt > 0 {
 				usage := (s.CPUSeconds - lastCPUSeconds[cont.ID()]) / dt
@@ -168,17 +187,17 @@ func (c *Collector) AttachWorker(name string, daemon *simdocker.Daemon) {
 			if !r.Finished {
 				c.evals[r.Name].Append(now, s.Eval)
 			}
-		}
+		})
 		lastSampleAt = now
-		c.engine.After(c.period, sim.PriorityMetric, "metrics.sample", sample)
+		sched.After(c.period, sim.PriorityMetric, "metrics.sample", sample)
 	}
-	c.engine.After(c.period, sim.PriorityMetric, "metrics.sample", sample)
+	sched.After(c.period, sim.PriorityMetric, "metrics.sample", sample)
 }
 
 // RecordRun implements flowcon.Tracer: it stores growth efficiency, limit
 // and list membership per algorithm run.
 func (c *Collector) RecordRun(e flowcon.TraceEntry) {
-	c.algoRuns++
+	c.algoRuns.Add(1)
 	now := float64(e.At)
 	for _, tc := range e.Containers {
 		r, ok := c.byCID[tc.ID]
@@ -194,7 +213,7 @@ func (c *Collector) RecordRun(e flowcon.TraceEntry) {
 }
 
 // AlgorithmRuns returns how many Algorithm 1 trace entries were recorded.
-func (c *Collector) AlgorithmRuns() int { return c.algoRuns }
+func (c *Collector) AlgorithmRuns() int { return int(c.algoRuns.Load()) }
 
 // Jobs returns all tracked job records sorted by start time then name.
 func (c *Collector) Jobs() []JobRecord {

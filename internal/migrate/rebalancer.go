@@ -31,7 +31,9 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/dlmodel"
 	"repro/internal/flowcon"
+	"repro/internal/resource"
 	"repro/internal/sim"
 )
 
@@ -134,6 +136,12 @@ type Rebalancer struct {
 	// keyed by container id. A migrated container gets a fresh id and so
 	// starts over — built-in hysteresis against ping-ponging.
 	ge map[string][]float64
+	// res holds each container's most recent per-kind resource-usage rates
+	// (Eq. 2's R vector), keyed by container id. It prices both what a
+	// victim would add to a destination and how loaded each node already
+	// is, so destination fitness can weigh every contended dimension
+	// instead of container count alone.
+	res map[string][resource.NumKinds]float64
 
 	scans    int
 	plans    int
@@ -147,7 +155,11 @@ func New(cfg Config) *Rebalancer {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
-	return &Rebalancer{cfg: cfg.withDefaults(), ge: make(map[string][]float64)}
+	return &Rebalancer{
+		cfg: cfg.withDefaults(),
+		ge:  make(map[string][]float64),
+		res: make(map[string][resource.NumKinds]float64),
+	}
 }
 
 // Name implements sched.ClusterPolicy.
@@ -199,6 +211,12 @@ type workerState struct {
 	// geSum/geN aggregate the measured GEs of the worker's containers.
 	geSum float64
 	geN   int
+	// load is the summed per-kind resource-usage rate of the worker's
+	// measured containers (Eq. 2's R, aggregated per node): CPU cores,
+	// blkio/netio bytes per second, resident memory bytes.
+	load [resource.NumKinds]float64
+	// memUsed is the node's reserved resident memory in bytes.
+	memUsed float64
 	// movable are candidate victims sorted by ascending recent GE.
 	movable []victim
 	// stragglerHit marks a source chosen by the straggler heuristic.
@@ -208,6 +226,9 @@ type workerState struct {
 type victim struct {
 	job string
 	g   float64
+	// vec is the victim's own recent per-kind usage rate — the pressure a
+	// move adds to its destination.
+	vec [resource.NumKinds]float64
 }
 
 // meanGE returns the worker's mean measured growth efficiency and whether
@@ -239,11 +260,14 @@ func (r *Rebalancer) Scan() []Plan {
 			continue
 		}
 		ws.running = w.RunningCount()
+		ws.memUsed = w.Daemon().MemoryUsed()
 		stats := w.RunningStats()
 		measurements := r.monitors[i].Collect(now, stats)
+		unmeasured := make(map[string]bool)
 		for _, mm := range measurements {
 			seen[mm.ID] = true
 			if !mm.Defined {
+				unmeasured[mm.ID] = true
 				continue
 			}
 			hist := append(r.ge[mm.ID], mm.G)
@@ -251,18 +275,31 @@ func (r *Rebalancer) Scan() []Plan {
 				hist = hist[len(hist)-r.cfg.GEWindow:]
 			}
 			r.ge[mm.ID] = hist
+			r.res[mm.ID] = mm.RKind
 			ws.geSum += mm.G
 			ws.geN++
+			for k := range mm.RKind {
+				ws.load[k] += mm.RKind[k]
+			}
 		}
 		// Candidate victims: running containers with at least one measured
 		// interval. A container measured this scan keeps its job name
 		// reachable through the daemon's pool (names are job labels).
 		for _, c := range w.Daemon().PS(false) {
+			// Containers without a measured interval still consume CPU
+			// right now: account their instantaneous allocation so a node
+			// crowded with fresh arrivals does not masquerade as idle to
+			// the destination-fitness score.
+			if unmeasured[c.ID()] {
+				ws.load[resource.CPU] += c.CPUAlloc()
+			}
 			hist, ok := r.ge[c.ID()]
 			if !ok || len(hist) == 0 || c.Workload().Done() {
 				continue
 			}
-			ws.movable = append(ws.movable, victim{job: c.Name(), g: hist[len(hist)-1]})
+			ws.movable = append(ws.movable, victim{
+				job: c.Name(), g: hist[len(hist)-1], vec: r.res[c.ID()],
+			})
 		}
 		sortVictims(ws.movable)
 	}
@@ -271,6 +308,7 @@ func (r *Rebalancer) Scan() []Plan {
 	for id := range r.ge {
 		if !seen[id] {
 			delete(r.ge, id)
+			delete(r.res, id)
 		}
 	}
 	return r.decide(states)
@@ -295,12 +333,23 @@ func (r *Rebalancer) decide(states []workerState) []Plan {
 		}
 		plans = append(plans, plan)
 		// Account the move so a multi-move scan converges instead of
-		// re-picking the same pair.
+		// re-picking the same pair: the container count, the victim's
+		// resource vector, and its resident memory all travel with it.
+		v := src.movable[0]
+		profile, _ := r.manager.ProfileOf(v.job)
 		src.running--
 		src.movable = src.movable[1:]
+		for k := range v.vec {
+			src.load[k] -= v.vec[k]
+		}
+		src.memUsed -= profile.MemoryBytes
 		for i := range states {
 			if states[i].worker.Name() == plan.Dst {
 				states[i].running++
+				for k := range v.vec {
+					states[i].load[k] += v.vec[k]
+				}
+				states[i].memUsed += profile.MemoryBytes
 			}
 		}
 	}
@@ -354,8 +403,45 @@ func (r *Rebalancer) pickSource(states []workerState, clusterSum float64, cluste
 	return nil
 }
 
-// planMove picks the source's lowest-GE victim and the best-fit coldest
-// destination able to host it.
+// Destination-fitness weights: CPU saturation and memory pressure are the
+// dimensions the paper's testbed shows actually throttle training
+// (contention overhead and thrashing); the I/O rates are secondary
+// congestion signals. Relative magnitudes, not absolutes, matter — every
+// term is normalized before weighting.
+const (
+	fitWeightCPU    = 1.0
+	fitWeightMemory = 1.0
+	fitWeightBlkIO  = 0.5
+	fitWeightNetIO  = 0.5
+)
+
+// fitness scores how contended a destination would be after receiving the
+// victim, across the full Eq. 2 resource vector — lower is better. CPU is
+// the post-move usage rate against node capacity, memory the post-move
+// resident pressure against node memory, and each I/O dimension the
+// post-move rate normalized by the cluster's hottest node (ioNorm), so a
+// destination that is quiet on every axis scores near zero no matter the
+// units involved.
+func fitness(ws *workerState, v victim, p dlmodel.Profile, ioNorm *[resource.NumKinds]float64) float64 {
+	score := fitWeightCPU * (ws.load[resource.CPU] + v.vec[resource.CPU]) / ws.worker.Daemon().Capacity()
+	if memCap := ws.worker.Daemon().MemoryCapacity(); memCap > 0 {
+		score += fitWeightMemory * (ws.memUsed + p.MemoryBytes) / memCap
+	}
+	if n := ioNorm[resource.BlkIO]; n > 0 {
+		score += fitWeightBlkIO * (ws.load[resource.BlkIO] + v.vec[resource.BlkIO]) / n
+	}
+	if n := ioNorm[resource.NetIO]; n > 0 {
+		score += fitWeightNetIO * (ws.load[resource.NetIO] + v.vec[resource.NetIO]) / n
+	}
+	return score
+}
+
+// planMove picks the source's lowest-GE victim and the destination with
+// the best multi-resource fitness able to host it. Count-based best-fit
+// ("coldest node") traded CPU contention for memory thrashing whenever the
+// emptiest node was already saturated on another axis; scoring the full
+// resource vector closes that gap while the strict-imbalance guard still
+// guarantees scans converge instead of ping-ponging.
 func (r *Rebalancer) planMove(states []workerState, src *workerState) (Plan, bool) {
 	v := src.movable[0]
 	c, err := src.worker.Daemon().Lookup(v.job)
@@ -366,7 +452,19 @@ func (r *Rebalancer) planMove(states []workerState, src *workerState) (Plan, boo
 	if !ok {
 		return Plan{}, false
 	}
+	// Normalize the unit-less I/O dimensions by the cluster's hottest
+	// node so their weights are comparable to the capacity-relative CPU
+	// and memory terms.
+	var ioNorm [resource.NumKinds]float64
+	for i := range states {
+		for k := range ioNorm {
+			if l := states[i].load[k] + v.vec[k]; l > ioNorm[k] {
+				ioNorm[k] = l
+			}
+		}
+	}
 	var dst *workerState
+	var dstScore float64
 	for i := range states {
 		ws := &states[i]
 		if ws == src || !ws.worker.CanHost(profile) {
@@ -377,8 +475,11 @@ func (r *Rebalancer) planMove(states []workerState, src *workerState) (Plan, boo
 			// scan would just move it back.
 			continue
 		}
-		if dst == nil || ws.running < dst.running {
+		score := fitness(ws, v, profile, &ioNorm)
+		if dst == nil || score < dstScore ||
+			(score == dstScore && ws.running < dst.running) {
 			dst = ws
+			dstScore = score
 		}
 	}
 	if dst == nil {

@@ -3,7 +3,7 @@ package resource
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Claim is one container's request for a share of a single contended
@@ -173,9 +173,20 @@ func (a *Allocator) waterFill(capacity float64) {
 		a.idx = append(a.idx, i)
 		totalWeight += weights[i]
 	}
+	// slices.SortFunc instead of sort.Slice: the same pdqsort, but the
+	// comparator stays on the stack, so the per-reallocate hot path does
+	// not allocate.
 	idx := a.idx
-	sort.Slice(idx, func(i, j int) bool {
-		return caps[idx[i]]/weights[idx[i]] < caps[idx[j]]/weights[idx[j]]
+	slices.SortFunc(idx, func(x, y int) int {
+		lx, ly := caps[x]/weights[x], caps[y]/weights[y]
+		switch {
+		case lx < ly:
+			return -1
+		case lx > ly:
+			return 1
+		default:
+			return 0
+		}
 	})
 
 	// Walk entries in saturation order. At each step the fill level is

@@ -31,8 +31,10 @@ type Policy interface {
 	// Name identifies the policy in reports ("FlowCon", "NA", ...).
 	Name() string
 	// Attach wires the policy to a node. Called once per worker before
-	// the simulation starts.
-	Attach(engine *sim.Engine, node Node)
+	// the simulation starts. The scheduler is the worker's lane in a
+	// sharded simulation, so everything the policy schedules stays on the
+	// worker's shard.
+	Attach(engine sim.Scheduler, node Node)
 }
 
 // ClusterPolicy is a cluster-level scheduling strategy: where per-node
@@ -58,7 +60,7 @@ type NA struct{}
 func (NA) Name() string { return "NA" }
 
 // Attach implements Policy; the baseline installs nothing.
-func (NA) Attach(*sim.Engine, Node) {}
+func (NA) Attach(sim.Scheduler, Node) {}
 
 // FlowCon runs the paper's controller on the worker.
 type FlowCon struct {
@@ -80,7 +82,7 @@ func (f *FlowCon) Name() string {
 }
 
 // Attach implements Policy.
-func (f *FlowCon) Attach(engine *sim.Engine, node Node) {
+func (f *FlowCon) Attach(engine sim.Scheduler, node Node) {
 	f.controller = flowcon.NewController(f.Config, engine, node, f.Tracer)
 	if !f.NoListeners {
 		node.OnContainerStart(f.controller.OnContainerStart)
@@ -109,7 +111,7 @@ type StaticEqual struct{}
 func (StaticEqual) Name() string { return "StaticEqual" }
 
 // Attach implements Policy.
-func (StaticEqual) Attach(engine *sim.Engine, node Node) {
+func (StaticEqual) Attach(engine sim.Scheduler, node Node) {
 	rebalance := func(string) {
 		// Defer to listener priority so the pool reflects the change.
 		engine.At(engine.Now(), sim.PriorityListener, "static.rebalance", func() {
@@ -151,7 +153,7 @@ type SLAQ struct {
 func (s *SLAQ) Name() string { return "SLAQ-like" }
 
 // Attach implements Policy.
-func (s *SLAQ) Attach(engine *sim.Engine, node Node) {
+func (s *SLAQ) Attach(engine sim.Scheduler, node Node) {
 	if s.Interval == 0 {
 		s.Interval = 20
 	}

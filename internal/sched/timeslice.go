@@ -33,7 +33,7 @@ type TimeSlice struct {
 func (ts *TimeSlice) Name() string { return "TimeSlice" }
 
 // Attach implements Policy.
-func (ts *TimeSlice) Attach(engine *sim.Engine, node Node) {
+func (ts *TimeSlice) Attach(engine sim.Scheduler, node Node) {
 	if ts.Slots <= 0 {
 		ts.Slots = 2
 	}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardLog records one component's observed execution: every event appends
+// its (time, name) as seen through its scheduler's clock. Per-lane logs are
+// the equivalence currency between serial and sharded runs: lanes share
+// nothing, so cross-lane interleaving is unobservable, but each lane's own
+// sequence — and the cluster's — must match the serial engine exactly.
+type shardLog struct {
+	entries []string
+}
+
+func (l *shardLog) add(sched Scheduler, name string) {
+	l.entries = append(l.entries, fmt.Sprintf("%.3f %s", float64(sched.Now()), name))
+}
+
+// buildShardWorkload wires an identical synthetic workload onto the given
+// schedulers: periodic lane ticks with same-instant listener reactions,
+// occasional exit-tagged events, in-flight cancellations, and a cluster
+// chain that injects same-instant work onto lanes round-robin (the
+// manager-placement pattern). Returns the per-lane logs (index 0 =
+// cluster).
+func buildShardWorkload(eng *Engine, lane func(i int) Scheduler, lanes int, horizon Time) []*shardLog {
+	logs := make([]*shardLog, lanes+1)
+	for i := range logs {
+		logs[i] = &shardLog{}
+	}
+
+	for i := 1; i <= lanes; i++ {
+		i := i
+		sched := lane(i - 1)
+		log := logs[i]
+		period := 1.0 + 0.1*float64(i)
+		ticks := 0
+		var pendingExtra *Event
+		var tick func()
+		tick = func() {
+			ticks++
+			log.add(sched, fmt.Sprintf("tick%d", ticks))
+			// Same-instant listener reaction, as Algorithm 2 does.
+			log := log
+			sched.At(sched.Now(), PriorityListener, "listener", func() {
+				log.add(sched, "listener")
+			})
+			// Exercise cancellation across batch boundaries: the extra
+			// scheduled two ticks ago may still sit in the global heap.
+			if pendingExtra != nil && ticks%3 == 0 {
+				pendingExtra.Cancel()
+				pendingExtra = nil
+			}
+			if ticks%2 == 0 {
+				n := ticks
+				pendingExtra = sched.After(2.5*period, PriorityMetric, "extra", func() {
+					log.add(sched, fmt.Sprintf("extra%d", n))
+				})
+			}
+			// Exit-tagged events model container completions: the sharded
+			// executor must close its batch at each one.
+			if ticks%5 == 0 {
+				n := ticks
+				ev := sched.After(0.2, PriorityState, "exit", func() {
+					log.add(sched, fmt.Sprintf("exit%d", n))
+				})
+				ev.MarkExit()
+			}
+			sched.After(period, PriorityExecutor, "tick", tick)
+		}
+		sched.After(period, PriorityExecutor, "tick", tick)
+	}
+
+	// The cluster chain: every 2.49s it logs, and every third firing it
+	// injects a same-instant state event onto one lane — the pattern of a
+	// manager placing a container during a cluster event.
+	fires := 0
+	var clusterTick func()
+	clusterTick = func() {
+		fires++
+		logs[0].add(eng, fmt.Sprintf("cluster%d", fires))
+		if fires%3 == 0 {
+			target := (fires / 3) % lanes
+			sched := lane(target)
+			log := logs[target+1]
+			n := fires
+			sched.At(eng.Now(), PriorityState, "inject", func() {
+				log.add(sched, fmt.Sprintf("inject%d", n))
+			})
+		}
+		eng.After(2.49, PriorityState, "cluster", clusterTick)
+	}
+	eng.After(2.49, PriorityState, "cluster", clusterTick)
+
+	return logs
+}
+
+// TestShardedMatchesSerial drives the same synthetic multi-lane workload
+// through the serial engine and the sharded executor and requires every
+// component's observed event sequence to match exactly.
+func TestShardedMatchesSerial(t *testing.T) {
+	const lanes = 5
+	const horizon = Time(200)
+
+	serial := NewEngine()
+	serialLogs := buildShardWorkload(serial, func(int) Scheduler { return serial }, lanes, horizon)
+	serialN := serial.Run(horizon)
+
+	for _, procs := range []int{2, 8} {
+		eng := NewEngine()
+		s := NewSharded(eng, lanes)
+		s.Procs = procs
+		s.ExitsReactive = func() bool { return false }
+		s.Remaining = func() int { return 1000 }
+		logs := buildShardWorkload(eng, func(i int) Scheduler { return s.Lane(i) }, lanes, horizon)
+		n := s.Run(horizon)
+
+		if n != serialN {
+			t.Errorf("procs=%d: executed %d events, serial executed %d", procs, n, serialN)
+		}
+		if eng.Now() != serial.Now() {
+			t.Errorf("procs=%d: clock %v, serial %v", procs, eng.Now(), serial.Now())
+		}
+		for i := range logs {
+			if !reflect.DeepEqual(logs[i].entries, serialLogs[i].entries) {
+				t.Errorf("procs=%d lane %d diverged:\n sharded: %v\n serial:  %v",
+					procs, i, logs[i].entries, serialLogs[i].entries)
+			}
+		}
+		if s.Batches() == 0 {
+			t.Errorf("procs=%d: no parallel batches executed — sharding never engaged", procs)
+		}
+	}
+}
+
+// TestShardedReactiveStaysSerial pins the conservative regime: while the
+// reactive hook reports true (the manager has queued jobs), no parallel
+// batch may run, because any exit could schedule same-instant cluster work.
+func TestShardedReactiveStaysSerial(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 3)
+	s.Procs = 4
+	s.ExitsReactive = func() bool { return true }
+	s.Remaining = func() int { return 1000 }
+	buildShardWorkload(eng, func(i int) Scheduler { return s.Lane(i) }, 3, 50)
+	s.Run(50)
+	if s.Batches() != 0 {
+		t.Fatalf("reactive run executed %d parallel batches, want 0", s.Batches())
+	}
+}
+
+// TestShardedNilHooksStaySerial pins the safe default: without the
+// reactive/remaining hooks the executor must not parallelize at all.
+func TestShardedNilHooksStaySerial(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 3)
+	s.Procs = 4
+	buildShardWorkload(eng, func(i int) Scheduler { return s.Lane(i) }, 3, 50)
+	s.Run(50)
+	if s.Batches() != 0 {
+		t.Fatalf("hook-less run executed %d parallel batches, want 0", s.Batches())
+	}
+}
+
+// TestShardedLaneClock verifies that inside a batch each lane observes its
+// own virtual time, not the global clock or a sibling's.
+func TestShardedLaneClock(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 2)
+	s.Procs = 2
+	s.ExitsReactive = func() bool { return false }
+	s.Remaining = func() int { return 1000 }
+
+	var sawA, sawB Time
+	a, b := s.Lane(0), s.Lane(1)
+	a.At(1.5, PriorityState, "a", func() { sawA = a.Now() })
+	b.At(2.5, PriorityState, "b", func() { sawB = b.Now() })
+	s.Run(Infinity)
+
+	if sawA != 1.5 || sawB != 2.5 {
+		t.Fatalf("lane clocks saw %v/%v, want 1.5/2.5", sawA, sawB)
+	}
+	if eng.Now() != 2.5 {
+		t.Fatalf("engine clock %v after run, want 2.5 (furthest lane)", eng.Now())
+	}
+}
+
+// TestShardedStopFromLane verifies that Stop called inside a lane event
+// (the last job's exit) ends the run without executing queued work —
+// exit-tagged events run serially, so the stop takes effect exactly as in
+// the serial engine.
+func TestShardedStopFromLane(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 2)
+	s.Procs = 2
+	s.ExitsReactive = func() bool { return false }
+	remaining := 100
+	s.Remaining = func() int { return remaining }
+
+	ran := []string{}
+	ev := s.Lane(0).At(5, PriorityState, "final-exit", func() {
+		ran = append(ran, "final-exit")
+		eng.Stop()
+	})
+	ev.MarkExit()
+	// This sits after the exit in global order; serial would never run it.
+	s.Lane(1).At(6, PriorityState, "late", func() { ran = append(ran, "late") })
+	s.Run(Infinity)
+
+	if !reflect.DeepEqual(ran, []string{"final-exit"}) {
+		t.Fatalf("ran %v, want only final-exit", ran)
+	}
+	if eng.Len() != 1 {
+		t.Fatalf("queue holds %d events after stop, want the undelivered late event", eng.Len())
+	}
+}
+
+// TestShardedStopSkipsSameInstantReactions pins a review-found edge: an
+// exit that stops the engine must not let the same-instant reactions it
+// scheduled run — the serial engine skips everything ordered after a
+// Stop, so the sharded executor must too, even in the parallel regime
+// (Remaining well above the serial tail).
+func TestShardedStopSkipsSameInstantReactions(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 2)
+	s.Procs = 2
+	s.ExitsReactive = func() bool { return false }
+	s.Remaining = func() int { return 100 }
+
+	var ran []string
+	lane := s.Lane(0)
+	// Background lane work keeps the run in the parallel regime before
+	// the exit fires.
+	s.Lane(1).At(1, PriorityExecutor, "bg", func() { ran = append(ran, "bg") })
+	ev := lane.At(5, PriorityState, "final-exit", func() {
+		ran = append(ran, "final-exit")
+		lane.At(lane.Now(), PriorityListener, "reaction", func() {
+			ran = append(ran, "reaction")
+		})
+		eng.Stop()
+	})
+	ev.MarkExit()
+	s.Run(Infinity)
+
+	if !reflect.DeepEqual(ran, []string{"bg", "final-exit"}) {
+		t.Fatalf("ran %v, want [bg final-exit] — the same-instant reaction must be skipped after Stop", ran)
+	}
+}
+
+// TestShardedHorizon pins Run's horizon semantics: inclusive execution,
+// clock advanced to the horizon, later events left queued.
+func TestShardedHorizon(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 2)
+	s.Procs = 2
+	s.ExitsReactive = func() bool { return false }
+	s.Remaining = func() int { return 1000 }
+
+	var ran []string
+	s.Lane(0).At(10, PriorityState, "at-horizon", func() { ran = append(ran, "at") })
+	s.Lane(1).At(10.5, PriorityState, "past", func() { ran = append(ran, "past") })
+	n := s.Run(10)
+
+	if n != 1 || !reflect.DeepEqual(ran, []string{"at"}) {
+		t.Fatalf("ran %v (n=%d), want only the at-horizon event", ran, n)
+	}
+	if eng.Now() != 10 {
+		t.Fatalf("clock %v, want 10", eng.Now())
+	}
+	if got := s.Run(11); got != 1 {
+		t.Fatalf("resumed run executed %d, want 1", got)
+	}
+}
+
+// TestShardedRejectsDoubleAttach pins the guard against wiring two
+// executors to one engine.
+func TestShardedRejectsDoubleAttach(t *testing.T) {
+	eng := NewEngine()
+	NewSharded(eng, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second NewSharded did not panic")
+		}
+	}()
+	NewSharded(eng, 1)
+}

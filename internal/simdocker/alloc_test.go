@@ -1,0 +1,100 @@
+package simdocker
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// steadyWork is a long-running workload with analytically known remaining
+// work, far from completion for the whole measurement window.
+type steadyWork struct{ rem float64 }
+
+func (w *steadyWork) Advance(c float64)  { w.rem -= c }
+func (w *steadyWork) CPUDemand() float64 { return 1 }
+func (w *steadyWork) Done() bool         { return w.rem <= 0 }
+func (w *steadyWork) Eval() float64      { return w.rem }
+func (w *steadyWork) Remaining() float64 { return w.rem }
+
+// TestSettleReallocateAllocsZero is the regression guard for the daemon's
+// steady-state hot path: advancing the clock and re-running
+// settle+reallocate (the docker-update path: scratch claim building, the
+// allocator's water-fill, ETA refresh, completion scheduling) must not
+// allocate. The wins this pins: claim/retire scratch reuse, the
+// allocator's stack-bound sort comparator, and completion-event reuse when
+// the earliest finish did not move.
+func TestSettleReallocateAllocsZero(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDaemon(eng, 1.0)
+	d.Pull(Image{Ref: "img", SizeBytes: 1})
+	for i := 0; i < 64; i++ {
+		if _, err := d.Run(RunSpec{Image: "img", Workload: &steadyWork{rem: 1e9}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := d.PS(false)[10].ID()
+	horizon := sim.Time(0)
+	avg := testing.AllocsPerRun(200, func() {
+		horizon += 0.25
+		eng.Run(horizon)
+		if err := d.Update(id, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("settle+reallocate allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+// TestAppendRunningStatsAllocsZero guards the bulk stats path policies
+// read every tick: with a warm caller-owned buffer it must not allocate.
+func TestAppendRunningStatsAllocsZero(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDaemon(eng, 1.0)
+	d.Pull(Image{Ref: "img", SizeBytes: 1})
+	for i := 0; i < 64; i++ {
+		if _, err := d.Run(RunSpec{Image: "img", Workload: &steadyWork{rem: 1e9}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := d.AppendRunningStats(nil) // warm the buffer
+	avg := testing.AllocsPerRun(200, func() {
+		buf = d.AppendRunningStats(buf[:0])
+		if len(buf) != 64 {
+			t.Fatalf("got %d stats", len(buf))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendRunningStats allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+// ladder documents the pool sizes the guards hold at (mirrors the bench
+// ladder; kept tiny so the test stays fast).
+func TestSettleReallocateAllocsZeroLadder(t *testing.T) {
+	for _, n := range []int{16, 256} {
+		t.Run(fmt.Sprintf("%d", n), func(t *testing.T) {
+			eng := sim.NewEngine()
+			d := NewDaemon(eng, 1.0)
+			d.Pull(Image{Ref: "img", SizeBytes: 1})
+			for i := 0; i < n; i++ {
+				if _, err := d.Run(RunSpec{Image: "img", Workload: &steadyWork{rem: 1e9}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			id := d.PS(false)[n/2].ID()
+			horizon := sim.Time(0)
+			avg := testing.AllocsPerRun(100, func() {
+				horizon += 0.25
+				eng.Run(horizon)
+				if err := d.Update(id, 0.5); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("n=%d: settle+reallocate allocates %.1f objects per op, want 0", n, avg)
+			}
+		})
+	}
+}

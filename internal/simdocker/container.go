@@ -154,6 +154,11 @@ func (c *Container) FinishedAt() sim.Time { return c.finishedAt }
 // CPULimit returns the current soft CPU limit in (0,1].
 func (c *Container) CPULimit() float64 { return c.cpuLimit }
 
+// CPUSeconds returns cumulative CPU time as of the daemon's last settle.
+// For an exited container the value is final and needs no settling — the
+// metrics sampler relies on that to read dead containers cheaply.
+func (c *Container) CPUSeconds() float64 { return c.cpuSeconds }
+
 // CPUAlloc returns the CPU share currently granted by the allocator.
 func (c *Container) CPUAlloc() float64 { return c.alloc }
 

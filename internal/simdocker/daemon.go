@@ -36,7 +36,7 @@ const completionEps = 1e-9
 // callbacks or before Run); the daemon is deliberately not thread-safe
 // because determinism is the point.
 type Daemon struct {
-	engine   *sim.Engine
+	engine   sim.Scheduler
 	capacity float64
 
 	images     map[string]Image
@@ -103,7 +103,7 @@ const thrashFactor = 4.0
 
 // NewDaemon creates a daemon managing `capacity` normalized CPUs on the
 // given engine. The paper's plots normalize the testbed node to 1.0.
-func NewDaemon(engine *sim.Engine, capacity float64) *Daemon {
+func NewDaemon(engine sim.Scheduler, capacity float64) *Daemon {
 	if engine == nil {
 		panic("simdocker: nil engine")
 	}
@@ -121,6 +121,12 @@ func NewDaemon(engine *sim.Engine, capacity float64) *Daemon {
 
 // Capacity returns the node's CPU capacity.
 func (d *Daemon) Capacity() float64 { return d.capacity }
+
+// Scheduler returns the scheduler the daemon runs on — the engine itself
+// in a serial simulation, the worker's lane in a sharded one. Components
+// that must observe the daemon's clock (the metrics sampler) schedule
+// through it so their events stay on the daemon's shard.
+func (d *Daemon) Scheduler() sim.Scheduler { return d.engine }
 
 // SetIDPrefix namespaces this daemon's container ids (e.g. the hosting
 // worker's name), keeping ids unique across a multi-worker cluster. Must
@@ -367,6 +373,11 @@ func (d *Daemon) Stats(id string) (Stats, error) {
 		return Stats{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	d.settle()
+	return d.statsOf(c), nil
+}
+
+// statsOf builds one container's snapshot. Callers must settle first.
+func (d *Daemon) statsOf(c *Container) Stats {
 	s := Stats{
 		ID:         c.id,
 		Name:       c.name,
@@ -381,7 +392,28 @@ func (d *Daemon) Stats(id string) (Stats, error) {
 	if rp, ok := c.workload.(ResourceProfiler); ok && c.state == Running {
 		s.MemoryBytes = rp.MemoryBytes()
 	}
-	return s, nil
+	return s
+}
+
+// AppendRunningStats settles the pool once and appends a snapshot of every
+// running container to buf in creation order, returning the extended
+// slice. It is the allocation-free bulk form of Stats that the per-tick
+// hot path (policy RunningStats) uses instead of PS + per-id lookups.
+func (d *Daemon) AppendRunningStats(buf []Stats) []Stats {
+	d.settle()
+	for _, c := range d.runningList {
+		buf = append(buf, d.statsOf(c))
+	}
+	return buf
+}
+
+// EachContainer calls fn for every container — running and exited — in
+// creation order, without the defensive copy PS makes. fn must not mutate
+// the pool.
+func (d *Daemon) EachContainer(fn func(*Container)) {
+	for _, id := range d.order {
+		fn(d.containers[id])
+	}
 }
 
 // Sync settles all container accounting up to the engine's current time.
@@ -503,16 +535,24 @@ func (d *Daemon) reallocate() {
 
 // scheduleCompletion replaces the pending completion event with one at the
 // earliest analytic finish time under the current allocation — an O(1)
-// read of the ETA heap's minimum.
+// read of the ETA heap's minimum. A pending event already at that exact
+// time is kept as-is: most reallocations do not move the earliest finish,
+// and reusing the event keeps the steady-state hot path free of both
+// allocation and heap churn.
 func (d *Daemon) scheduleCompletion() {
+	var earliest sim.Time
+	if len(d.etas) > 0 {
+		earliest = d.etas[0].eta
+	} else {
+		earliest = sim.Infinity
+	}
 	if d.completion != nil {
+		if earliest != sim.Infinity && d.completion.At() == earliest {
+			return
+		}
 		d.completion.Cancel()
 		d.completion = nil
 	}
-	if len(d.etas) == 0 {
-		return
-	}
-	earliest := d.etas[0].eta
 	if earliest == sim.Infinity {
 		return
 	}
@@ -521,6 +561,9 @@ func (d *Daemon) scheduleCompletion() {
 		d.settle()
 		d.reallocate()
 	})
+	// Completions retire containers: in sharded mode each one must close
+	// its parallel batch so exit effects are never overtaken.
+	d.completion.MarkExit()
 }
 
 // etaHeap is an indexed min-heap of running containers ordered by analytic
