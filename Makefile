@@ -8,7 +8,7 @@ FUZZTIME ?= 20s
 # Per-benchmark budget for bench-json (CI smoke passes 1x).
 BENCHTIME ?= 1s
 
-.PHONY: all build test race bench bench-json bench-compare bench-compare-base fmt vet cover fuzz determinism ci
+.PHONY: all build test race bench bench-json bench-compare bench-compare-base fmt vet cover fuzz determinism docs ci
 
 all: build test
 
@@ -82,4 +82,10 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzGenerate$$' -fuzztime=$(FUZZTIME) ./internal/workload
 	$(GO) test -run='^$$' -fuzz='^FuzzReplay$$' -fuzztime=$(FUZZTIME) ./internal/workload
 
-ci: fmt vet build race bench cover fuzz determinism
+# Docs hygiene: every relative markdown link in README/ROADMAP/docs/
+# must resolve (no network — external links are skipped), and the Go
+# sources the docs describe must be gofmt-clean and vet-clean.
+docs: fmt vet
+	./scripts/check-docs.sh
+
+ci: fmt vet build race bench cover fuzz determinism docs

@@ -64,6 +64,29 @@
 // The flowcon-sim command exposes it as -shard-sim N (0 = auto). A single
 // 256-worker run then scales with cores instead of pinning one.
 //
+// # Observability tiers
+//
+// Metric collection is tiered (Spec.TraceLevel). The default TierSummary
+// keeps only constant-memory online summaries per job/kind — Welford
+// moments plus a streaming quantile sketch (SeriesSummary) and a bounded
+// growth trajectory (CompactSeries) — so memory is O(jobs), independent of
+// run length, and every scenario-table column is still available (quantiles
+// within SketchAccuracy relative error; exact for all built-in scenarios).
+// TierDense retains full Series for figure regeneration and raw-trace
+// analysis at O(samples) memory:
+//
+//	spec.TraceLevel = repro.TierDense // opt in to raw series retention
+//	res := repro.Run(spec)
+//	cpu := res.Collector.CPUSeries("job") // nil in the summary tier
+//
+// Both tiers maintain the summaries, cap the post-exit sampler tail at
+// PostExitSamples windows, and sample at identical instants — the tier
+// changes retention only, never simulation behavior. Archives written by
+// Export carry schema version ArchiveSchemaVersion and the producing tier;
+// ReadArchive rejects other schemas loudly. The flowcon-sim command
+// exposes the tier as -trace-level {summary,dense}. See the README
+// "Observability" section for the memory model.
+//
 // See the runnable programs under examples/ for complete scenarios.
 package repro
 
@@ -79,6 +102,7 @@ import (
 	"repro/internal/realtime"
 	"repro/internal/sched"
 	"repro/internal/simdocker"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -221,7 +245,8 @@ type (
 	TraceEvent = experiment.TraceEvent
 	// JobRecord is one job's lifecycle summary.
 	JobRecord = metrics.JobRecord
-	// Series is a time series of observations.
+	// Series is a dense time series of observations — O(samples) memory,
+	// retained only in TierDense (nil accessors in the summary tier).
 	Series = metrics.Series
 	// Policy is a worker resource-management strategy.
 	Policy = sched.Policy
@@ -322,10 +347,62 @@ var (
 	DefaultMigrationCost = cluster.DefaultMigrationCost
 )
 
-// Archive is the serializable form of an experiment's traces.
+// Observability tiers (see internal/metrics and the package-doc
+// "Observability tiers" section).
+type (
+	// Tier selects metric retention: TierSummary (the zero value,
+	// constant-memory summaries only) or TierDense (full raw series).
+	Tier = metrics.Tier
+	// SeriesSummary is the constant-memory stand-in for a dense Series:
+	// Welford moments + streaming quantile sketch + first/last points.
+	SeriesSummary = metrics.SeriesSummary
+	// CompactSeries is a bounded step-series used for summary-tier growth
+	// trajectories — O(DefaultCompactPoints) memory at any run length.
+	CompactSeries = metrics.CompactSeries
+	// Welford is the numerically stable online moment accumulator
+	// (count/mean/variance/min/max in O(1) memory).
+	Welford = stats.Welford
+	// QuantileSketch is the log-bucketed streaming quantile sketch with a
+	// guaranteed relative-error bound.
+	QuantileSketch = stats.QuantileSketch
+)
+
+// Tier constants and helpers.
+const (
+	// TierSummary retains only online summaries — the default.
+	TierSummary = metrics.TierSummary
+	// TierDense additionally retains every raw series point.
+	TierDense = metrics.TierDense
+	// SketchAccuracy is the relative-error bound of every summary-tier
+	// quantile (±1%).
+	SketchAccuracy = metrics.SketchAccuracy
+	// PostExitSamples caps the per-container sampler tail after exit in
+	// both tiers.
+	PostExitSamples = metrics.PostExitSamples
+)
+
+// ParseTier maps the -trace-level strings ("", "summary", "dense") to a
+// Tier, erroring on anything else.
+var ParseTier = metrics.ParseTier
+
+// NewQuantileSketch constructs a sketch with relative accuracy alpha.
+var NewQuantileSketch = stats.NewQuantileSketch
+
+// Archive is the serializable form of an experiment's traces — schema
+// version ArchiveSchemaVersion, carrying per-job summaries in both tiers
+// and raw series only when produced by TierDense.
 type Archive = metrics.Archive
 
-// ReadArchive parses an archive written by Archive.WriteJSON.
+// ArchiveSummary is one summarized series in an Archive: moments plus
+// sketch quantiles, the constant-memory view of a metric.
+type ArchiveSummary = metrics.ArchiveSummary
+
+// ArchiveSchemaVersion is the archive schema Export writes and ReadArchive
+// requires; pre-v2 archives are rejected with a regeneration hint.
+const ArchiveSchemaVersion = metrics.ArchiveSchemaVersion
+
+// ReadArchive parses an archive written by Archive.WriteJSON, rejecting
+// wrong schema versions loudly.
 var ReadArchive = metrics.ReadArchive
 
 // Real-time deployment surface (wall-clock driver over the pure core).

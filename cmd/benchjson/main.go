@@ -2,12 +2,22 @@
 // simulation hot-path microbenchmarks (event cancellation, daemon
 // settle/reallocate, Algorithm 1, the migration ladder, sharded lanes)
 // across the 16/64/256 containers-per-node ladder, runs the cluster-scale
-// scenario end to end on both the serial engine and the sharded executor,
-// and appends the results as one per-commit entry to BENCH_sim.json.
+// scenario end to end — serial engine, sharded executor, and a serial
+// dense-tier run — and appends the results as one per-commit entry to
+// BENCH_sim.json.
 //
 // Usage:
 //
 //	benchjson [-out BENCH_sim.json] [-benchtime 1s] [-parallel N] [-shards N]
+//
+// Each scenario run records the metric tier it used (trace_level) and the
+// collector's retained observability memory (collector_bytes); comparing
+// the summary and dense serial runs of one entry shows the constant-memory
+// tier's savings at cluster scale. The dense run also measures
+// sketch-vs-dense accuracy (sketch_err_p50/p95/p99): it holds both the raw
+// CPU series and the streaming sketches, so the exact quantiles are
+// available to diff against. The entry layout is documented in
+// docs/BENCH_SCHEMA.md.
 //
 // BENCH_sim.json is a history document (internal/benchfile, schema 2):
 // every invocation appends an entry stamped with the current git revision,
@@ -24,16 +34,19 @@ package main
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/benchfile"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 )
 
 // benchPackages are the packages holding the hot-path microbenchmarks,
@@ -104,11 +117,14 @@ func main() {
 	if err != nil {
 		fatalf("microbenchmarks: %v", err)
 	}
-	// The scenario runs twice: the serial engine is the baseline the
-	// trajectory has always tracked; the sharded run records what the
-	// epoch-parallel executor buys on this box (bounded by GOMAXPROCS).
+	// The scenario runs in three configurations: the serial summary-tier
+	// engine is the baseline the trajectory has always tracked; the
+	// sharded run records what the epoch-parallel executor buys on this
+	// box (bounded by GOMAXPROCS); and a serial dense-tier run anchors
+	// the memory comparison (collector_bytes summary vs dense) and
+	// measures sketch-vs-dense quantile accuracy.
 	for _, simShards := range []int{1, shards} {
-		sr, err := runScenario(simShards)
+		sr, err := runScenario(simShards, metrics.TierSummary)
 		if err != nil {
 			fatalf("scenario (shards=%d): %v", simShards, err)
 		}
@@ -117,6 +133,11 @@ func main() {
 			break // one core: the second run would duplicate the first
 		}
 	}
+	dense, err := runScenario(1, metrics.TierDense)
+	if err != nil {
+		fatalf("scenario (dense): %v", err)
+	}
+	entry.Scenarios = append(entry.Scenarios, dense)
 
 	rep, err := benchfile.Load(out)
 	if err != nil {
@@ -200,14 +221,16 @@ func runBenchmarks(benchtime string) ([]benchfile.Benchmark, error) {
 }
 
 // runScenario executes the cluster-scale scenario once (seed 1) at the
-// given shard count and records both the simulated outcome and its
-// wall-clock cost.
-func runScenario(simShards int) (benchfile.ScenarioResult, error) {
+// given shard count and metric tier, recording the simulated outcome, its
+// wall-clock cost, and the collector's retained memory. A dense-tier run
+// additionally measures sketch-vs-exact quantile accuracy across its jobs.
+func runScenario(simShards int, tier metrics.Tier) (benchfile.ScenarioResult, error) {
 	scen, ok := experiment.ScenarioByName(scenarioName)
 	if !ok {
 		return benchfile.ScenarioResult{}, fmt.Errorf("scenario %q not registered", scenarioName)
 	}
 	scen.SimShards = simShards
+	scen.TraceLevel = tier
 	const seed = 1
 	start := time.Now()
 	outs, err := experiment.RunScenarios(context.Background(),
@@ -222,20 +245,57 @@ func runScenario(simShards int) (benchfile.ScenarioResult, error) {
 	}
 	res := rep.Result
 	sr := benchfile.ScenarioResult{
-		Name:        scenarioName,
-		Seed:        seed,
-		Workers:     scen.Workers,
-		SimShards:   res.SimShards,
-		SimBatches:  res.SimBatches,
-		Jobs:        res.Submitted,
-		MakespanSec: res.Makespan,
-		Completed:   res.Completed,
-		WallSec:     wall,
+		Name:           scenarioName,
+		Seed:           seed,
+		Workers:        scen.Workers,
+		SimShards:      res.SimShards,
+		SimBatches:     res.SimBatches,
+		Jobs:           res.Submitted,
+		MakespanSec:    res.Makespan,
+		Completed:      res.Completed,
+		WallSec:        wall,
+		TraceLevel:     tier.String(),
+		CollectorBytes: int64(res.Collector.MemoryBytes()),
 	}
 	if wall > 0 {
 		sr.SimulatedPerWallSec = res.Makespan / wall
 	}
+	if tier == metrics.TierDense {
+		sr.SketchErrP50, sr.SketchErrP95, sr.SketchErrP99 = sketchError(res.Collector)
+	}
 	return sr, nil
+}
+
+// sketchError measures the summary tier's accuracy claim against ground
+// truth: for every job with a meaningfully long dense CPU series it
+// compares the streaming sketch's p50/p95/p99 to the exact sorted-sample
+// quantile and returns the worst relative error per quantile. The
+// collector maintains summaries in both tiers, so a dense run holds both
+// representations of the same samples.
+func sketchError(col *metrics.Collector) (p50, p95, p99 float64) {
+	worst := [3]float64{}
+	qs := [3]float64{0.5, 0.95, 0.99}
+	for _, job := range col.Jobs() {
+		series := col.CPUSeries(job.Name)
+		sum := col.CPUSummary(job.Name)
+		if series == nil || sum == nil || series.Len() < 20 {
+			continue
+		}
+		vals := make([]float64, 0, series.Len())
+		for _, p := range series.Points() {
+			vals = append(vals, p.V)
+		}
+		sort.Float64s(vals)
+		for i, q := range qs {
+			exact := vals[int(q*float64(len(vals)-1))]
+			est := sum.Quantile(q)
+			rel := math.Abs(est-exact) / math.Max(math.Abs(exact), 1e-9)
+			if rel > worst[i] {
+				worst[i] = rel
+			}
+		}
+	}
+	return worst[0], worst[1], worst[2]
 }
 
 func fatalf(format string, args ...any) {

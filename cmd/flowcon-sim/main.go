@@ -22,6 +22,10 @@
 // -shard-sim N runs each simulation on per-worker event lanes that
 // execute in parallel inside conservative epochs (0 = auto/GOMAXPROCS);
 // output stays byte-identical to the serial engine at any shard count.
+// -trace-level selects metric retention (see README "Observability"):
+// the summary default keeps O(jobs) online summaries; dense retains full
+// per-job series for trace and figure export. Experiment (figure) mode
+// always collects dense — figures re-plot raw samples by definition.
 // -cpuprofile/-memprofile capture pprof profiles in every mode (see the
 // README's Profiling subsection).
 // The cluster-scale scenario (256 workers, thousands of jobs) is the
@@ -60,12 +64,19 @@ func main() {
 		"with -scenario: fixed freeze+thaw seconds charged per live migration (0 = calibrated default; transfer time from memory size is added on top)")
 	shardSim := flag.Int("shard-sim", 1,
 		"per-run event-lane parallelism: worker lanes execute in parallel inside one simulation (0 = auto/GOMAXPROCS, 1 = serial engine); output is byte-identical at any value")
+	traceLevel := flag.String("trace-level", "summary",
+		"metric retention per run: summary (constant-memory online summaries, the default) or dense (full per-job series, O(jobs × makespan) memory); reports are identical either way")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 	if *shardSim < 0 {
 		fmt.Fprintln(os.Stderr, "flowcon-sim: -shard-sim must be >= 0")
+		os.Exit(2)
+	}
+	tier, err := metrics.ParseTier(*traceLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim: -trace-level must be summary or dense")
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -105,10 +116,11 @@ func main() {
 		mode, allowed = "-scenario-list", map[string]bool{"scenario-list": true}
 	case *replay != "":
 		mode, allowed = "-replay", map[string]bool{"replay": true, "workers": true, "parallel": true,
-			"shard-sim": true}
+			"shard-sim": true, "trace-level": true}
 	case *scenario != "":
 		mode, allowed = "-scenario", map[string]bool{"scenario": true, "seeds": true, "record": true,
-			"parallel": true, "rebalance": true, "migration-cost": true, "shard-sim": true}
+			"parallel": true, "rebalance": true, "migration-cost": true, "shard-sim": true,
+			"trace-level": true}
 	}
 	// The profiling flags apply to every mode.
 	allowed["cpuprofile"] = true
@@ -128,7 +140,7 @@ func main() {
 		return
 	}
 	if *replay != "" {
-		runReplay(*replay, *replayWorkers, *shardSim)
+		runReplay(*replay, *replayWorkers, *shardSim, tier)
 		return
 	}
 	if *scenario != "" {
@@ -143,6 +155,7 @@ func main() {
 		scens := resolveScenarios(*scenario)
 		applyMigrationFlags(scens, *rebalance, *migrationCost)
 		applyShardSim(scens, *shardSim)
+		applyTraceLevel(scens, tier)
 		runScenarios(scens, experiment.ScenarioSeeds(*seeds), *record)
 		return
 	}
@@ -190,12 +203,17 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: flowcon-sim [-csv dir] [-parallel N] <experiment> [...]
        flowcon-sim -scenario-list
        flowcon-sim [-parallel N] [-shard-sim N] [-seeds N] [-record dir]
-                   [-rebalance] [-migration-cost sec] -scenario <name[,...]|all>
-       flowcon-sim [-workers N] [-shard-sim N] -replay trace.jsonl
+                   [-rebalance] [-migration-cost sec] [-trace-level summary|dense]
+                   -scenario <name[,...]|all>
+       flowcon-sim [-workers N] [-shard-sim N] [-trace-level summary|dense]
+                   -replay trace.jsonl
 
 -parallel N  sweeps runs across a worker pool; -shard-sim N parallelizes
 inside each run (per-worker event lanes, 0 = auto/GOMAXPROCS, 1 = serial
-engine). Output is byte-identical at any width of either. -cpuprofile and
+engine). Output is byte-identical at any width of either. -trace-level
+picks metric retention: summary (default) keeps constant-memory online
+summaries per job; dense keeps full series for trace export (experiment
+mode always runs dense — figures re-plot raw samples). -cpuprofile and
 -memprofile write pprof profiles in every mode.
 
 experiments:

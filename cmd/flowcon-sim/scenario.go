@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/workload"
 )
@@ -89,6 +90,17 @@ func applyShardSim(scens []experiment.Scenario, shards int) {
 	}
 }
 
+// applyTraceLevel folds -trace-level into the selected scenario copies.
+// The summary default is the zero value, so only dense needs writing.
+func applyTraceLevel(scens []experiment.Scenario, tier metrics.Tier) {
+	if tier == metrics.TierSummary {
+		return
+	}
+	for i := range scens {
+		scens[i].TraceLevel = tier
+	}
+}
+
 // runScenarios executes the selected scenarios across the sweep pool and
 // renders the summary table. With -record dir it also writes each
 // (scenario, seed) schedule as a replayable JSONL trace; the recorded
@@ -148,7 +160,7 @@ func recordTrace(path string, subs []workload.Submission) error {
 
 // runReplay loads a recorded (or hand-written) JSONL trace and runs it as
 // a one-off scenario under the default FlowCon setting.
-func runReplay(path string, workers, shardSim int) {
+func runReplay(path string, workers, shardSim int, tier metrics.Tier) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
@@ -169,6 +181,7 @@ func runReplay(path string, workers, shardSim int) {
 	}
 	scens := []experiment.Scenario{scen}
 	applyShardSim(scens, shardSim)
+	applyTraceLevel(scens, tier)
 	outs, err := experiment.RunScenarios(context.Background(), scens,
 		[]int64{1}, experiment.SweepOptions{})
 	if err != nil {

@@ -38,7 +38,8 @@ func main() {
 
 	policies := map[string]func() *repro.Result{
 		"FlowCon (3%,30)": func() *repro.Result {
-			return repro.Run(repro.Spec{Name: "fc", NewPolicy: repro.FlowConPolicy(0.03, 30), Submissions: subs})
+			// Dense tier: the CPU-trace chart at the end re-plots raw samples.
+			return repro.Run(repro.Spec{Name: "fc", NewPolicy: repro.FlowConPolicy(0.03, 30), Submissions: subs, TraceLevel: repro.TierDense})
 		},
 		"NA": func() *repro.Result {
 			return repro.Run(repro.Spec{Name: "na", NewPolicy: repro.NAPolicy(30), Submissions: subs})

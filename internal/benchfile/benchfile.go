@@ -49,6 +49,23 @@ type ScenarioResult struct {
 	WallSec float64 `json:"wall_sec"`
 	// SimulatedPerWallSec is virtual seconds simulated per wall second.
 	SimulatedPerWallSec float64 `json:"simulated_per_wall_sec"`
+	// TraceLevel is the metric-retention tier the run used ("summary" or
+	// "dense"); empty in entries recorded before tiered collection.
+	TraceLevel string `json:"trace_level,omitempty"`
+	// CollectorBytes is the collector's retained observability memory at
+	// run end (metrics.Collector.MemoryBytes). Comparing the summary and
+	// dense runs of one entry verifies the O(jobs) memory model; see
+	// docs/BENCH_SCHEMA.md.
+	CollectorBytes int64 `json:"collector_bytes,omitempty"`
+	// SketchErrP50/P95/P99 record sketch-vs-dense quantile accuracy: the
+	// maximum relative error of the streaming-sketch estimate against the
+	// exact quantile of the dense CPU series, across all jobs of the run.
+	// Only the dense run can measure this (it holds both representations),
+	// so the fields are zero elsewhere. Must stay within
+	// metrics.SketchAccuracy.
+	SketchErrP50 float64 `json:"sketch_err_p50,omitempty"`
+	SketchErrP95 float64 `json:"sketch_err_p95,omitempty"`
+	SketchErrP99 float64 `json:"sketch_err_p99,omitempty"`
 }
 
 // Entry is one per-commit data point of the trajectory.

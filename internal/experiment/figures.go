@@ -84,8 +84,14 @@ func runSweep(title string, subs []workload.Submission, settings []Setting) *Set
 
 // mustSweep runs specs at the default parallelism and panics on any
 // failed run — the contract of the figure regenerators, which promise
-// complete results.
+// complete results. It forces the dense collection tier: figures and
+// paired traces are re-plotted from raw series, which only that tier
+// retains, and regeneration must stay byte-identical across tiers of
+// the surrounding run.
 func mustSweep(specs []Spec) *SweepResult {
+	for i := range specs {
+		specs[i].TraceLevel = metrics.TierDense
+	}
 	sr, _ := Sweep(context.Background(), specs, SweepOptions{})
 	if err := sr.Err(); err != nil {
 		panic(err.Error())

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -22,7 +23,11 @@ func goldenFixedTrace(t *testing.T) []byte {
 		t.Fatal("fixed scenario missing from registry")
 	}
 	subs := s.Workload(1)
-	res, err := RunE(s.Spec(1))
+	spec := s.Spec(1)
+	// Limit events come from the dense tier's LimitSeries; the summary
+	// default would silently drop them from the golden.
+	spec.TraceLevel = metrics.TierDense
+	res, err := RunE(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +100,7 @@ func TestReplayedScheduleReproducesEventTrace(t *testing.T) {
 
 	run := func(subs []workload.Submission) []byte {
 		spec := s.Spec(1)
+		spec.TraceLevel = metrics.TierDense
 		spec.Submissions = subs
 		res, err := RunE(spec)
 		if err != nil {

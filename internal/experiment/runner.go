@@ -81,6 +81,13 @@ type Spec struct {
 	// negative means auto (GOMAXPROCS). Sharding needs at least 2 workers
 	// to have anything to parallelize.
 	SimShards int
+	// TraceLevel selects metric retention (see metrics.Tier). The zero
+	// value is the summary tier: O(jobs) collector memory, everything
+	// ReportScenario needs, but no raw series. metrics.TierDense retains
+	// full per-job series — required for figure regeneration and
+	// limit-event traces — at O(jobs × makespan) memory. The tier never
+	// changes simulation behavior, only what the collector keeps.
+	TraceLevel metrics.Tier
 }
 
 // Drain schedules rolling maintenance on one worker: cordon + migrate
@@ -132,6 +139,8 @@ type Result struct {
 	// simulation output is byte-identical regardless.
 	SimShards  int
 	SimBatches int
+	// TraceLevel records the metric-retention tier the run used.
+	TraceLevel metrics.Tier
 }
 
 // CompletionTimes returns job name → completion time (finish − start).
@@ -230,7 +239,7 @@ func RunE(spec Spec) (*Result, error) {
 	}
 
 	engine := sim.NewEngine()
-	collector := metrics.NewCollector(engine, spec.SamplePeriod)
+	collector := metrics.NewCollectorTier(engine, spec.SamplePeriod, spec.TraceLevel)
 
 	// With SimShards, each worker's events ride a private lane of the
 	// sharded executor; cluster-level machinery (manager, failures, drains,
@@ -345,12 +354,13 @@ func RunE(spec Spec) (*Result, error) {
 	}
 
 	res := &Result{
-		Name:      spec.Name,
-		Policy:    policies[0].Name(),
-		SimShards: 1,
-		Jobs:      collector.Jobs(),
-		Makespan:  collector.Makespan(),
-		Submitted: manager.Submitted(),
+		Name:       spec.Name,
+		Policy:     policies[0].Name(),
+		SimShards:  1,
+		TraceLevel: spec.TraceLevel,
+		Jobs:       collector.Jobs(),
+		Makespan:   collector.Makespan(),
+		Submitted:  manager.Submitted(),
 		// Complete means every submitted job was placed (a submission whose
 		// arrival lies past the horizon never fires and is invisible to
 		// both the collector and the manager queue) and ran to completion.

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -61,6 +62,10 @@ type Scenario struct {
 	// Spec.SimShards): 0/1 serial, N>1 that many shard goroutines,
 	// negative auto (GOMAXPROCS). Output is byte-identical at any value.
 	SimShards int
+	// TraceLevel selects metric retention (see Spec.TraceLevel): the
+	// zero value is the constant-memory summary tier; metrics.TierDense
+	// retains raw series for figure/trace export.
+	TraceLevel metrics.Tier
 }
 
 // Setting returns the scenario's effective FlowCon setting.
@@ -90,6 +95,7 @@ func (s Scenario) Spec(seed int64) Spec {
 		Drains:                 s.Drains,
 		MigrationCost:          s.MigrationCost,
 		SimShards:              s.SimShards,
+		TraceLevel:             s.TraceLevel,
 	}
 	if s.Rebalance != nil {
 		spec.ClusterPolicy = RebalancerPolicy(*s.Rebalance)
@@ -432,21 +438,20 @@ func (o ScenarioOutcome) aggregate() (scenarioRow, bool) {
 			if j.Finished {
 				cts = append(cts, j.CompletionTime())
 			}
-			g := res.Collector.GrowthSeries(j.Name)
-			if g == nil || g.Len() == 0 {
-				continue
-			}
 			for k, f := range geFractions {
 				t := f * res.Makespan
 				if t < j.StartedAt || (j.Finished && t > j.FinishedAt) {
 					continue // job not alive at this point of the run
 				}
-				if g.Points()[0].T > t {
-					// Alive but not yet measured (first sample lands ~itval
-					// after start); Series.At would report a false zero.
+				// GrowthAt is tier-agnostic: dense series or compact
+				// trajectory. ok=false means alive but not yet measured
+				// (first sample lands ~itval after start) — reporting a
+				// false zero there would drag the average down.
+				g, ok := res.Collector.GrowthAt(j.Name, t)
+				if !ok {
 					continue
 				}
-				geSum[k] += g.At(t)
+				geSum[k] += g
 				geN[k]++
 			}
 		}

@@ -3,6 +3,8 @@ package experiment
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // runScenarioShards executes a registered scenario at the given shard
@@ -15,6 +17,9 @@ func runScenarioShards(t *testing.T, name string, seed int64, shards int) *Resul
 	}
 	spec := s.Spec(seed)
 	spec.SimShards = shards
+	// Dense tier: the equivalence assertions deep-compare raw per-job
+	// series, which the summary default does not retain.
+	spec.TraceLevel = metrics.TierDense
 	res, err := RunE(spec)
 	if err != nil {
 		t.Fatalf("%s (shards=%d): %v", name, shards, err)

@@ -10,6 +10,16 @@ import (
 	"repro/internal/simdocker"
 )
 
+// PostExitSamples is the documented post-exit sampler horizon: an exited
+// container contributes at most this many further CPU samples — the
+// partial window covering the exit instant and the first all-zero window
+// — before the sampler seals it, drops it from iteration and frees its
+// differencing state. Every later sample would be identically zero, so
+// the cap loses no information while keeping both collection tiers from
+// accumulating an O(makespan) zero tail per finished job (the PR 5
+// "sharded sampler tail" finding).
+const PostExitSamples = 2
+
 // JobRecord is the lifecycle summary of one job.
 type JobRecord struct {
 	Name        string
@@ -37,18 +47,38 @@ func (r JobRecord) CompletionTime() float64 {
 // worker daemons for job lifecycle and samples CPU usage at a fixed
 // period, and implements flowcon.Tracer to capture growth-efficiency and
 // limit traces.
+//
+// Memory behavior is governed by the collector's Tier. In both tiers it
+// keeps O(1) online summaries (SeriesSummary) per job/kind. TierSummary
+// stops there — total memory is O(jobs), independent of makespan — plus
+// one bounded CompactSeries per job so GrowthAt can answer the
+// GE@fraction report columns. TierDense additionally retains every raw
+// sample in full Series, O(jobs × makespan); the raw-series accessors
+// (CPUSeries etc.) return nil outside that tier.
 type Collector struct {
 	engine *sim.Engine
 	period float64
+	tier   Tier
 
 	jobs  map[string]*JobRecord // by job name
 	byCID map[string]*JobRecord
 
+	// Dense-tier raw traces (nil maps in TierSummary).
 	cpu    map[string]*Series // usage (fraction of node) by job name
 	evals  map[string]*Series // raw evaluation-function values by job name
 	limits map[string]*Series // configured soft limit by job name
 	growth map[string]*Series // growth efficiency by job name
 	lists  map[string]*Series // list membership (0=NL,1=WL,2=CL) by job name
+
+	// Constant-memory summaries, maintained in both tiers.
+	cpuSum    map[string]*SeriesSummary
+	evalSum   map[string]*SeriesSummary
+	limitSum  map[string]*SeriesSummary
+	growthSum map[string]*SeriesSummary
+	listSum   map[string]*SeriesSummary
+
+	// Summary-tier bounded growth trajectory per job, for GrowthAt.
+	growthC map[string]*CompactSeries
 
 	// algoRuns is atomic: in a sharded simulation controllers on different
 	// worker lanes record runs concurrently. The total is deterministic
@@ -56,23 +86,48 @@ type Collector struct {
 	algoRuns atomic.Int64
 }
 
-// NewCollector creates a collector sampling CPU usage every period seconds.
+// NewCollector creates a summary-tier collector sampling CPU usage every
+// period seconds. Use NewCollectorTier to opt into dense retention.
 func NewCollector(engine *sim.Engine, period float64) *Collector {
+	return NewCollectorTier(engine, period, TierSummary)
+}
+
+// NewCollectorTier creates a collector with an explicit retention tier.
+// The tier only changes what is retained, never what the simulation does:
+// samplers fire at the same instants either way.
+func NewCollectorTier(engine *sim.Engine, period float64, tier Tier) *Collector {
 	if period <= 0 {
 		panic("metrics: non-positive sampling period")
 	}
-	return &Collector{
-		engine: engine,
-		period: period,
-		jobs:   make(map[string]*JobRecord),
-		byCID:  make(map[string]*JobRecord),
-		cpu:    make(map[string]*Series),
-		evals:  make(map[string]*Series),
-		limits: make(map[string]*Series),
-		growth: make(map[string]*Series),
-		lists:  make(map[string]*Series),
+	if tier != TierSummary && tier != TierDense {
+		panic(fmt.Sprintf("metrics: unknown tier %d", int(tier)))
 	}
+	c := &Collector{
+		engine:    engine,
+		period:    period,
+		tier:      tier,
+		jobs:      make(map[string]*JobRecord),
+		byCID:     make(map[string]*JobRecord),
+		cpuSum:    make(map[string]*SeriesSummary),
+		evalSum:   make(map[string]*SeriesSummary),
+		limitSum:  make(map[string]*SeriesSummary),
+		growthSum: make(map[string]*SeriesSummary),
+		listSum:   make(map[string]*SeriesSummary),
+	}
+	if tier == TierDense {
+		c.cpu = make(map[string]*Series)
+		c.evals = make(map[string]*Series)
+		c.limits = make(map[string]*Series)
+		c.growth = make(map[string]*Series)
+		c.lists = make(map[string]*Series)
+	} else {
+		c.growthC = make(map[string]*CompactSeries)
+	}
+	return c
 }
+
+// Tier returns the collector's retention tier.
+func (c *Collector) Tier() Tier { return c.tier }
 
 // TrackJob registers a placed job. Call from the manager's OnPlace hook.
 // Re-tracking an existing job name re-binds it to a new container — the
@@ -93,11 +148,20 @@ func (c *Collector) TrackJob(name, worker, model string, cont *simdocker.Contain
 	}
 	c.jobs[name] = r
 	c.byCID[cont.ID()] = r
-	c.cpu[name] = &Series{}
-	c.evals[name] = &Series{}
-	c.limits[name] = &Series{}
-	c.growth[name] = &Series{}
-	c.lists[name] = &Series{}
+	c.cpuSum[name] = NewSeriesSummary()
+	c.evalSum[name] = NewSeriesSummary()
+	c.limitSum[name] = NewSeriesSummary()
+	c.growthSum[name] = NewSeriesSummary()
+	c.listSum[name] = NewSeriesSummary()
+	if c.tier == TierDense {
+		c.cpu[name] = &Series{}
+		c.evals[name] = &Series{}
+		c.limits[name] = &Series{}
+		c.growth[name] = &Series{}
+		c.lists[name] = &Series{}
+	} else {
+		c.growthC[name] = NewCompactSeries(0)
+	}
 }
 
 // TrackJobMigrated re-binds a job to the container a live migration
@@ -141,17 +205,40 @@ func (c *Collector) JobExited(cont *simdocker.Container) {
 	r.Finished = true
 }
 
+// observeCPU records one CPU-usage sample in the active tier's stores.
+// Allocation-free at steady state: map entries and sketch buckets exist
+// after the first sample of a job.
+func (c *Collector) observeCPU(name string, t, v float64) {
+	if c.tier == TierDense {
+		c.cpu[name].Append(t, v)
+	}
+	c.cpuSum[name].Observe(t, v)
+}
+
+// observeEval records one evaluation-function sample.
+func (c *Collector) observeEval(name string, t, v float64) {
+	if c.tier == TierDense {
+		c.evals[name].Append(t, v)
+	}
+	c.evalSum[name].Observe(t, v)
+}
+
 // AttachWorker subscribes the collector to a worker daemon's lifecycle and
 // starts the periodic CPU sampler against it. The sampler schedules on the
 // daemon's own scheduler, so in a sharded simulation it rides the worker's
-// lane and samples in parallel with the other shards.
+// lane and samples in parallel with the other shards. All sampler
+// bookkeeping (usage differencing, post-exit tail counts) lives in this
+// closure, so per-worker samplers on different lanes never share state.
 func (c *Collector) AttachWorker(name string, daemon *simdocker.Daemon) {
 	daemon.OnExit(c.JobExited)
 
-	// Per-worker differencing state lives in the sampler closure so
-	// multiple attached workers never interfere.
 	sched := daemon.Scheduler()
 	lastCPUSeconds := make(map[string]float64)
+	// tails counts samples taken after a container was observed exited.
+	// At PostExitSamples the container is sealed: skipped by future
+	// sampler passes and its differencing state freed. See the constant's
+	// doc for why the cap is lossless.
+	tails := make(map[string]int)
 	lastSampleAt := float64(sched.Now())
 	var sample func()
 	sample = func() {
@@ -159,33 +246,49 @@ func (c *Collector) AttachWorker(name string, daemon *simdocker.Daemon) {
 		daemon.Sync()
 		dt := now - lastSampleAt
 		daemon.EachContainer(func(cont *simdocker.Container) {
-			r, ok := c.byCID[cont.ID()]
+			id := cont.ID()
+			if tails[id] >= PostExitSamples {
+				return
+			}
+			exited := cont.State() == simdocker.Exited
+			r, ok := c.byCID[id]
 			if !ok {
-				return
-			}
-			// Exited containers have frozen counters and a closed record:
-			// read them without the settled-stats round trip. The appended
-			// values are identical to the slow path's — the usage decays to
-			// zero one sample after the exit and stays there.
-			if r.Finished && cont.State() == simdocker.Exited {
-				if dt > 0 {
-					usage := (cont.CPUSeconds() - lastCPUSeconds[cont.ID()]) / dt
-					c.cpu[r.Name].Append(now, usage)
+				// Untracked and gone (e.g. replaced after a rebind):
+				// seal immediately so the dead ID costs nothing.
+				if exited {
+					tails[id] = PostExitSamples
+					delete(lastCPUSeconds, id)
 				}
-				lastCPUSeconds[cont.ID()] = cont.CPUSeconds()
 				return
 			}
-			s, err := daemon.Stats(cont.ID())
-			if err != nil {
-				return
+			if r.Finished && exited {
+				// Exited containers have frozen counters and a closed
+				// record: read them without the settled-stats round trip.
+				// The appended values are identical to the slow path's.
+				if dt > 0 {
+					usage := (cont.CPUSeconds() - lastCPUSeconds[id]) / dt
+					c.observeCPU(r.Name, now, usage)
+				}
+				lastCPUSeconds[id] = cont.CPUSeconds()
+			} else {
+				s, err := daemon.Stats(id)
+				if err != nil {
+					return
+				}
+				if dt > 0 {
+					usage := (s.CPUSeconds - lastCPUSeconds[id]) / dt
+					c.observeCPU(r.Name, now, usage)
+				}
+				lastCPUSeconds[id] = s.CPUSeconds
+				if !r.Finished {
+					c.observeEval(r.Name, now, s.Eval)
+				}
 			}
-			if dt > 0 {
-				usage := (s.CPUSeconds - lastCPUSeconds[cont.ID()]) / dt
-				c.cpu[r.Name].Append(now, usage)
-			}
-			lastCPUSeconds[cont.ID()] = s.CPUSeconds
-			if !r.Finished {
-				c.evals[r.Name].Append(now, s.Eval)
+			if exited {
+				tails[id]++
+				if tails[id] >= PostExitSamples {
+					delete(lastCPUSeconds, id)
+				}
 			}
 		})
 		lastSampleAt = now
@@ -205,10 +308,19 @@ func (c *Collector) RecordRun(e flowcon.TraceEntry) {
 			continue
 		}
 		if tc.GDefined {
-			c.growth[r.Name].Append(now, tc.G)
+			if c.tier == TierDense {
+				c.growth[r.Name].Append(now, tc.G)
+			} else {
+				c.growthC[r.Name].Append(now, tc.G)
+			}
+			c.growthSum[r.Name].Observe(now, tc.G)
 		}
-		c.limits[r.Name].Append(now, tc.Limit)
-		c.lists[r.Name].Append(now, float64(tc.List))
+		if c.tier == TierDense {
+			c.limits[r.Name].Append(now, tc.Limit)
+			c.lists[r.Name].Append(now, float64(tc.List))
+		}
+		c.limitSum[r.Name].Observe(now, tc.Limit)
+		c.listSum[r.Name].Observe(now, float64(tc.List))
 	}
 }
 
@@ -239,20 +351,87 @@ func (c *Collector) Job(name string) (JobRecord, bool) {
 	return *r, true
 }
 
-// CPUSeries returns the sampled CPU-usage trace for a job.
+// CPUSeries returns the sampled CPU-usage trace for a job. Dense tier
+// only: nil in TierSummary — use CPUSummary there.
 func (c *Collector) CPUSeries(name string) *Series { return c.cpu[name] }
 
 // EvalSeries returns the sampled evaluation-function trace for a job.
+// Dense tier only: nil in TierSummary — use EvalSummary there.
 func (c *Collector) EvalSeries(name string) *Series { return c.evals[name] }
 
-// LimitSeries returns the configured-limit trace for a job.
+// LimitSeries returns the configured-limit trace for a job. Dense tier
+// only: nil in TierSummary — use LimitSummary there. Event traces that
+// include limit updates (the §5.3 golden) therefore require TierDense.
 func (c *Collector) LimitSeries(name string) *Series { return c.limits[name] }
 
-// GrowthSeries returns the growth-efficiency trace for a job.
+// GrowthSeries returns the growth-efficiency trace for a job. Dense tier
+// only: nil in TierSummary — use GrowthAt or GrowthSummary there.
 func (c *Collector) GrowthSeries(name string) *Series { return c.growth[name] }
 
-// ListSeries returns the list-membership trace for a job.
+// ListSeries returns the list-membership trace for a job. Dense tier
+// only: nil in TierSummary — use ListSummary there.
 func (c *Collector) ListSeries(name string) *Series { return c.lists[name] }
+
+// CPUSummary returns the constant-memory CPU-usage summary for a job
+// (available in both tiers), or nil for an untracked job.
+func (c *Collector) CPUSummary(name string) *SeriesSummary { return c.cpuSum[name] }
+
+// EvalSummary returns the evaluation-function summary for a job.
+func (c *Collector) EvalSummary(name string) *SeriesSummary { return c.evalSum[name] }
+
+// LimitSummary returns the configured-limit summary for a job.
+func (c *Collector) LimitSummary(name string) *SeriesSummary { return c.limitSum[name] }
+
+// GrowthSummary returns the growth-efficiency summary for a job.
+func (c *Collector) GrowthSummary(name string) *SeriesSummary { return c.growthSum[name] }
+
+// ListSummary returns the list-membership summary for a job.
+func (c *Collector) ListSummary(name string) *SeriesSummary { return c.listSum[name] }
+
+// GrowthAt returns the growth efficiency in effect for a job at time t,
+// the tier-agnostic query behind the GE@fraction report columns. ok is
+// false when the job is unknown or had no growth sample at or before t.
+// In TierDense the answer is exact; in TierSummary it comes from the
+// bounded CompactSeries and is exact until compaction triggers (which no
+// built-in scenario reaches — see DefaultCompactPoints).
+func (c *Collector) GrowthAt(name string, t float64) (float64, bool) {
+	if c.tier == TierDense {
+		g := c.growth[name]
+		if g == nil || g.Len() == 0 || g.Points()[0].T > t {
+			return 0, false
+		}
+		return g.At(t), true
+	}
+	g := c.growthC[name]
+	if g == nil {
+		return 0, false
+	}
+	return g.At(t)
+}
+
+// MemoryBytes estimates the collector's retained observability memory:
+// every series, summary and compact trajectory plus job records. It is
+// the figure cmd/benchjson records as collector_bytes, used to verify
+// the summary tier is O(jobs) rather than O(jobs × makespan).
+func (c *Collector) MemoryBytes() int {
+	total := 0
+	for _, m := range []map[string]*Series{c.cpu, c.evals, c.limits, c.growth, c.lists} {
+		for _, s := range m {
+			total += s.MemoryBytes()
+		}
+	}
+	for _, m := range []map[string]*SeriesSummary{c.cpuSum, c.evalSum, c.limitSum, c.growthSum, c.listSum} {
+		for _, s := range m {
+			total += s.MemoryBytes()
+		}
+	}
+	for _, s := range c.growthC {
+		total += s.MemoryBytes()
+	}
+	const perJobRecord = 160 // struct + two map entries
+	total += len(c.jobs) * perJobRecord
+	return total
+}
 
 // Makespan returns the total schedule length: latest finish over all jobs
 // (0 origin, as the paper measures from the first submission at 0s).

@@ -12,11 +12,16 @@ import (
 
 // buildCollector runs a tiny two-job simulation and returns its collector.
 func buildCollector(t *testing.T) *Collector {
+	return buildCollectorTier(t, TierDense)
+}
+
+// buildCollectorTier is buildCollector with an explicit retention tier.
+func buildCollectorTier(t *testing.T, tier Tier) *Collector {
 	t.Helper()
 	e := sim.NewEngine()
 	d := simdocker.NewDaemon(e, 1.0)
 	d.Pull(simdocker.Image{Ref: "img:1"})
-	col := NewCollector(e, 1.0)
+	col := NewCollectorTier(e, 1.0, tier)
 	col.AttachWorker("w0", d)
 	for i, p := range []dlmodel.Profile{dlmodel.MNISTTensorFlow(), dlmodel.GRU()} {
 		name := []string{"A", "B"}[i]
@@ -45,8 +50,14 @@ func TestArchiveRoundTrip(t *testing.T) {
 	if len(a.Jobs) != 2 || a.Makespan <= 0 {
 		t.Fatalf("archive %+v", a)
 	}
+	if a.Schema != ArchiveSchemaVersion || a.Tier != "dense" {
+		t.Fatalf("schema/tier = %d/%q", a.Schema, a.Tier)
+	}
 	if len(a.Series["cpu"]["A"]) == 0 {
 		t.Fatal("cpu series missing from archive")
+	}
+	if s := a.Summaries["cpu"]["A"]; s.Count == 0 || s.Mean <= 0 {
+		t.Fatalf("cpu summary missing from dense archive: %+v", s)
 	}
 
 	var buf bytes.Buffer
@@ -80,8 +91,12 @@ func TestArchiveRoundTrip(t *testing.T) {
 func TestReadArchiveRejectsCorrupt(t *testing.T) {
 	cases := map[string]string{
 		"not json":       "{",
-		"orphan series":  `{"jobs":[],"series":{"cpu":{"ghost":[{"T":0,"V":1}]}}}`,
-		"backward times": `{"jobs":[{"Name":"A"}],"series":{"cpu":{"A":[{"T":5,"V":1},{"T":1,"V":2}]}}}`,
+		"legacy schema":  `{"jobs":[],"series":{}}`,
+		"wrong schema":   `{"schema":1,"tier":"dense","jobs":[]}`,
+		"bad tier":       `{"schema":2,"tier":"verbose","jobs":[]}`,
+		"orphan series":  `{"schema":2,"tier":"dense","jobs":[],"series":{"cpu":{"ghost":[{"T":0,"V":1}]}}}`,
+		"orphan summary": `{"schema":2,"tier":"summary","jobs":[],"summaries":{"cpu":{"ghost":{"count":1}}}}`,
+		"backward times": `{"schema":2,"tier":"dense","jobs":[{"Name":"A"}],"series":{"cpu":{"A":[{"T":5,"V":1},{"T":1,"V":2}]}}}`,
 	}
 	for name, raw := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -89,6 +104,42 @@ func TestReadArchiveRejectsCorrupt(t *testing.T) {
 				t.Fatal("corrupt archive accepted")
 			}
 		})
+	}
+}
+
+// TestSummaryArchiveRoundTrip pins the summary tier's export shape: no
+// raw series, summaries within sketch error of the dense run's exact
+// statistics, and a clean round trip through WriteJSON/ReadArchive.
+func TestSummaryArchiveRoundTrip(t *testing.T) {
+	col := buildCollectorTier(t, TierSummary)
+	if col.CPUSeries("A") != nil {
+		t.Fatal("summary tier retained a dense cpu series")
+	}
+	a := col.Export()
+	if a.Tier != "summary" || len(a.Series) != 0 {
+		t.Fatalf("summary archive carries series: tier=%q series=%v", a.Tier, a.Series)
+	}
+	s, ok := a.Summaries["cpu"]["A"]
+	if !ok || s.Count == 0 {
+		t.Fatalf("cpu summary missing: %+v", s)
+	}
+	if s.P95 < s.P50 || s.Max < s.P95*(1-SketchAccuracy) {
+		t.Fatalf("summary quantiles inconsistent: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != a.Makespan || back.Summaries["cpu"]["A"] != s {
+		t.Fatalf("summary round trip changed archive")
+	}
+	// The rebuildable-series accessor degrades to empty, not to a panic.
+	if back.SeriesOf("cpu", "A").Len() != 0 {
+		t.Fatal("summary archive rebuilt a series from nothing")
 	}
 }
 

@@ -135,7 +135,7 @@ func TestCollectorEndToEnd(t *testing.T) {
 	e := sim.NewEngine()
 	d := simdocker.NewDaemon(e, 1.0)
 	d.Pull(simdocker.Image{Ref: "img:1"})
-	col := NewCollector(e, 1.0)
+	col := NewCollectorTier(e, 1.0, TierDense)
 	col.AttachWorker("w0", d)
 
 	jobA := dlmodel.NewJob("A", dlmodel.MNISTTensorFlow())
@@ -269,7 +269,7 @@ func TestCollectorRecordRun(t *testing.T) {
 	e := sim.NewEngine()
 	d := simdocker.NewDaemon(e, 1.0)
 	d.Pull(simdocker.Image{Ref: "img:1"})
-	col := NewCollector(e, 1.0)
+	col := NewCollectorTier(e, 1.0, TierDense)
 	j := dlmodel.NewJob("x", dlmodel.GRU())
 	c, _ := d.Run(simdocker.RunSpec{Image: "img:1", Workload: j})
 	col.TrackJob("x", "w", "m", c)

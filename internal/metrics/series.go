@@ -2,6 +2,15 @@
 // completion times, overall makespan, per-container CPU-usage traces
 // (Figures 7, 8, 10, 11, 15, 16), and growth-efficiency traces (Figures 13
 // and 14).
+//
+// Collection is tiered (see Tier). The default summary tier retains only
+// constant-memory online summaries per job/kind — Welford moments plus a
+// streaming quantile sketch (SeriesSummary) and a bounded growth
+// trajectory (CompactSeries) — so collector memory is O(jobs) regardless
+// of makespan. The dense tier additionally keeps every raw sample as a
+// Series, O(jobs × makespan), and is required for figure regeneration and
+// limit-event traces. Archives exported from either tier carry a schema
+// version (ArchiveSchemaVersion) so stale goldens fail loudly.
 package metrics
 
 import (
@@ -17,6 +26,10 @@ type Point struct {
 }
 
 // Series is an append-only time series with non-decreasing timestamps.
+//
+// Memory behavior: O(samples) — one Point (16 bytes) per Append. Dense
+// collection tier only; the summary tier replaces it with SeriesSummary
+// and CompactSeries.
 type Series struct {
 	points []Point
 }
@@ -31,6 +44,10 @@ func (s *Series) Append(t, v float64) {
 
 // Len returns the number of observations.
 func (s *Series) Len() int { return len(s.points) }
+
+// MemoryBytes estimates the series' retained memory: the points backing
+// array (by capacity, since it is held either way) plus the header.
+func (s *Series) MemoryBytes() int { return 24 + cap(s.points)*16 }
 
 // Points returns the underlying observations (not a copy; callers must not
 // mutate).

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/dlmodel"
+	"repro/internal/flowcon"
+	"repro/internal/sim"
+	"repro/internal/simdocker"
+)
+
+// traceEntryAt builds a single-container Algorithm 1 trace entry.
+func traceEntryAt(cid string, at, g float64) flowcon.TraceEntry {
+	return flowcon.TraceEntry{
+		At: sim.Time(at),
+		Containers: []flowcon.TraceContainer{
+			{ID: cid, G: g, GDefined: true, Limit: 0.5},
+		},
+	}
+}
+
+// runTailScenario runs one short job, then keeps the engine (and the
+// sampler) running long past the job's exit, returning the collector.
+// Pre-cap, the sampler appended a zero sample per period until the
+// horizon — the PR 5 "sharded sampler tail" finding this PR fixes.
+func runTailScenario(t *testing.T, tier Tier, horizon float64) *Collector {
+	t.Helper()
+	e := sim.NewEngine()
+	d := simdocker.NewDaemon(e, 1.0)
+	d.Pull(simdocker.Image{Ref: "img:1"})
+	col := NewCollectorTier(e, 1.0, tier)
+	col.AttachWorker("w0", d)
+	j := dlmodel.NewJob("A", dlmodel.MNISTTensorFlow())
+	c, err := d.Run(simdocker.RunSpec{Image: "img:1", Name: "A", Workload: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.TrackJob("A", "w0", "m", c)
+	e.Run(sim.Time(horizon))
+	if !col.AllFinished() {
+		t.Fatal("job did not finish within horizon")
+	}
+	return col
+}
+
+// TestPostExitTailCapDense is the regression test for the sampler tail
+// cap: after a job exits, at most PostExitSamples further CPU samples
+// are recorded, no matter how long the engine keeps running.
+func TestPostExitTailCapDense(t *testing.T) {
+	const horizon = 500.0
+	col := runTailScenario(t, TierDense, horizon)
+	r, _ := col.Job("A")
+	cpu := col.CPUSeries("A")
+	if cpu.Len() == 0 {
+		t.Fatal("no cpu samples")
+	}
+	lastT := cpu.Points()[cpu.Len()-1].T
+	maxT := r.FinishedAt + PostExitSamples*1.0 // period is 1s
+	if lastT > maxT+1e-9 {
+		t.Fatalf("cpu samples continued to t=%g, cap is %g (exit %g)", lastT, maxT, r.FinishedAt)
+	}
+	// The horizon is far past the exit; without the cap the tail would
+	// reach it. Make sure the scenario actually exercises the gap.
+	if horizon < r.FinishedAt*2 {
+		t.Fatalf("scenario too short to exercise the tail: exit %g, horizon %g", r.FinishedAt, horizon)
+	}
+	// The cap is lossless: the final retained sample is already zero.
+	if v := cpu.Points()[cpu.Len()-1].V; v != 0 {
+		t.Fatalf("final retained sample %g, want the zero window", v)
+	}
+}
+
+// TestPostExitTailCapSummary asserts the same horizon in the summary
+// tier, where the evidence is the sample count freezing.
+func TestPostExitTailCapSummary(t *testing.T) {
+	col := runTailScenario(t, TierSummary, 500)
+	r, _ := col.Job("A")
+	s := col.CPUSummary("A")
+	last, _ := s.Last()
+	maxT := r.FinishedAt + PostExitSamples*1.0
+	if last.T > maxT+1e-9 {
+		t.Fatalf("summary observed samples to t=%g, cap is %g", last.T, maxT)
+	}
+	// Sample count ≈ lifetime/period + the capped tail, nowhere near the
+	// horizon's 500 samples.
+	if s.Count() > int64(r.FinishedAt)+PostExitSamples+2 {
+		t.Fatalf("summary count %d exceeds capped budget (exit %g)", s.Count(), r.FinishedAt)
+	}
+}
+
+// TestTierParity pins the tier-independence invariant: running the same
+// simulation under both tiers yields identical job records, makespan and
+// summary statistics — the tier changes retention, never behavior.
+func TestTierParity(t *testing.T) {
+	dense := runTailScenario(t, TierDense, 500)
+	summary := runTailScenario(t, TierSummary, 500)
+	dj, _ := dense.Job("A")
+	sj, _ := summary.Job("A")
+	if dj != sj {
+		t.Fatalf("job records diverged: %+v vs %+v", dj, sj)
+	}
+	if dense.Makespan() != summary.Makespan() {
+		t.Fatalf("makespan diverged: %g vs %g", dense.Makespan(), summary.Makespan())
+	}
+	ds, ss := dense.CPUSummary("A"), summary.CPUSummary("A")
+	if ds.Count() != ss.Count() || ds.Moments().Mean() != ss.Moments().Mean() {
+		t.Fatalf("cpu summaries diverged: n=%d/%d mean=%g/%g",
+			ds.Count(), ss.Count(), ds.Moments().Mean(), ss.Moments().Mean())
+	}
+	// Dense memory strictly dominates summary memory even on this tiny run.
+	if dense.MemoryBytes() <= 0 || summary.MemoryBytes() <= 0 {
+		t.Fatal("memory estimates not positive")
+	}
+}
+
+// TestGrowthAtTierParity drives RecordRun directly and checks GrowthAt
+// gives identical answers in both tiers, including the not-yet-defined
+// window before the first sample.
+func TestGrowthAtTierParity(t *testing.T) {
+	build := func(tier Tier) *Collector {
+		e := sim.NewEngine()
+		d := simdocker.NewDaemon(e, 1.0)
+		d.Pull(simdocker.Image{Ref: "img:1"})
+		col := NewCollectorTier(e, 1.0, tier)
+		j := dlmodel.NewJob("x", dlmodel.GRU())
+		c, _ := d.Run(simdocker.RunSpec{Image: "img:1", Workload: j})
+		col.TrackJob("x", "w", "m", c)
+		for i := 0; i < 50; i++ {
+			col.RecordRun(traceEntryAt(c.ID(), float64(10+i*30), float64(i)/50))
+		}
+		return col
+	}
+	dense, summary := build(TierDense), build(TierSummary)
+	for _, q := range []float64{0, 5, 10, 99.5, 700, 2000} {
+		dv, dok := dense.GrowthAt("x", q)
+		sv, sok := summary.GrowthAt("x", q)
+		if dv != sv || dok != sok {
+			t.Fatalf("GrowthAt(%g) diverged: dense %g,%v summary %g,%v", q, dv, dok, sv, sok)
+		}
+	}
+	if _, ok := dense.GrowthAt("ghost", 10); ok {
+		t.Fatal("unknown job answered")
+	}
+	if _, ok := summary.GrowthAt("ghost", 10); ok {
+		t.Fatal("unknown job answered")
+	}
+}

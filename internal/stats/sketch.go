@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchAccuracy is the relative-error bound used by summary-tier
+// metric collection: a quantile returned by the sketch is within ±1% of
+// the true sample value at that rank.
+const DefaultSketchAccuracy = 0.01
+
+// maxSketchBuckets bounds each store (positive and negative) of a
+// QuantileSketch. With the default accuracy a store spans ~115 buckets
+// per decade of magnitude, so 2048 buckets cover ~17 decades before any
+// collapse happens; real metric streams never get close.
+const maxSketchBuckets = 2048
+
+// minSketchMagnitude is the smallest magnitude indexed exactly. Values
+// closer to zero are counted in the exact zero bucket, introducing at
+// most 1e-9 absolute error — far below the resolution of any reported
+// metric.
+const minSketchMagnitude = 1e-9
+
+// QuantileSketch is a streaming quantile estimator with a guaranteed
+// relative-error bound, in the style of DDSketch ("DDSketch: a fast and
+// fully-mergeable quantile sketch", VLDB 2019). Values are mapped to
+// logarithmically sized buckets with ratio γ = (1+α)/(1−α); the bucket
+// representative is then within relative error α of every value in the
+// bucket. Zero is counted exactly and negative values go to a mirrored
+// store, so the guarantee holds for any real-valued stream.
+//
+// Memory behavior: O(buckets), where the bucket count grows with the
+// number of distinct magnitude scales in the stream — not with the
+// number of samples — and is hard-capped at maxSketchBuckets per sign
+// (lowest-magnitude buckets collapse first, so upper quantiles keep
+// their guarantee even in the capped regime). Add allocates only when a
+// value lands in a previously unseen bucket; steady-state sampling is
+// allocation-free.
+//
+// The guarantee: for a sample of n values, Quantile(q) returns a value v
+// such that |v − x| ≤ α·|x| where x is the exact order statistic of rank
+// ⌊q·(n−1)⌋, except for values inside the zero bucket (|x| below
+// minSketchMagnitude), which are reported as exactly 0.
+type QuantileSketch struct {
+	alpha      float64
+	gamma      float64
+	invLnGamma float64
+	pos, neg   sketchStore
+	zeros      int64
+	n          int64
+}
+
+// sketchStore is one sign's bucket map. After a collapse, clampKey marks
+// the lowest live key: anything below it merges into it, trading accuracy
+// at the collapsed (low-magnitude) end for bounded memory.
+type sketchStore struct {
+	buckets  map[int32]int64
+	clampKey int32
+	clamped  bool
+}
+
+func (s *sketchStore) add(key int32) {
+	if s.clamped && key < s.clampKey {
+		key = s.clampKey
+	}
+	s.buckets[key]++
+	if len(s.buckets) > maxSketchBuckets {
+		s.collapse()
+	}
+}
+
+// collapse merges the lowest-keyed (smallest-magnitude) bucket into the
+// next lowest, keeping the store at the cap.
+func (s *sketchStore) collapse() {
+	lowest, second := int32(math.MaxInt32), int32(math.MaxInt32)
+	for k := range s.buckets {
+		if k < lowest {
+			lowest, second = k, lowest
+		} else if k < second {
+			second = k
+		}
+	}
+	s.buckets[second] += s.buckets[lowest]
+	delete(s.buckets, lowest)
+	s.clampKey = second
+	s.clamped = true
+}
+
+func (s *sketchStore) count() int64 {
+	var n int64
+	for _, c := range s.buckets {
+		n += c
+	}
+	return n
+}
+
+// sortedKeys returns the store's bucket keys in ascending order. It
+// allocates; quantile queries are rare (report time), adds are not.
+func (s *sketchStore) sortedKeys() []int32 {
+	keys := make([]int32, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// NewQuantileSketch returns an empty sketch with relative accuracy
+// alpha ∈ (0, 1). Use DefaultSketchAccuracy unless a caller has a
+// documented reason to trade memory for precision.
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if !(alpha > 0 && alpha < 1) {
+		panic(fmt.Sprintf("stats: sketch accuracy %g outside (0,1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha:      alpha,
+		gamma:      gamma,
+		invLnGamma: 1 / math.Log(gamma),
+		pos:        sketchStore{buckets: make(map[int32]int64)},
+		neg:        sketchStore{buckets: make(map[int32]int64)},
+	}
+}
+
+// key maps a magnitude (≥ minSketchMagnitude) to its bucket index
+// k = ⌈log_γ(mag)⌉, so bucket k covers (γ^(k−1), γ^k].
+func (s *QuantileSketch) key(mag float64) int32 {
+	return int32(math.Ceil(math.Log(mag) * s.invLnGamma))
+}
+
+// rep returns the representative value of bucket k, the midpoint
+// 2γ^k/(γ+1), which is within relative error α of the whole bucket.
+func (s *QuantileSketch) rep(k int32) float64 {
+	return 2 * math.Pow(s.gamma, float64(k)) / (s.gamma + 1)
+}
+
+// Add folds one value into the sketch. NaN values panic — the metric
+// pipeline never produces them, so one is a collection bug. Allocation
+// happens only on first contact with a bucket; repeated values are free.
+func (s *QuantileSketch) Add(v float64) {
+	if math.IsNaN(v) {
+		panic("stats: NaN added to sketch")
+	}
+	s.n++
+	switch {
+	case v >= minSketchMagnitude:
+		s.pos.add(s.key(v))
+	case v <= -minSketchMagnitude:
+		s.neg.add(s.key(-v))
+	default:
+		s.zeros++
+	}
+}
+
+// Count returns how many values were added.
+func (s *QuantileSketch) Count() int64 { return s.n }
+
+// RelativeAccuracy returns the α the sketch was built with.
+func (s *QuantileSketch) RelativeAccuracy() float64 { return s.alpha }
+
+// Quantile returns the estimated q-quantile (0 ≤ q ≤ 1) at the order
+// statistic of rank ⌊q·(n−1)⌋, within the sketch's relative-error
+// guarantee. It panics on an empty sketch, mirroring stats.Quantile.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		panic("stats: quantile of empty sketch")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
+	rank := int64(q * float64(s.n-1))
+	// Walk values in ascending order: negatives from largest magnitude
+	// down, then the zero bucket, then positives from smallest up.
+	cum := int64(0)
+	negKeys := s.neg.sortedKeys()
+	for i := len(negKeys) - 1; i >= 0; i-- {
+		cum += s.neg.buckets[negKeys[i]]
+		if rank < cum {
+			return -s.rep(negKeys[i])
+		}
+	}
+	cum += s.zeros
+	if rank < cum {
+		return 0
+	}
+	for _, k := range s.pos.sortedKeys() {
+		cum += s.pos.buckets[k]
+		if rank < cum {
+			return s.rep(k)
+		}
+	}
+	// Unreachable unless counts are inconsistent.
+	panic("stats: sketch rank walk overran total count")
+}
+
+// MemoryBytes estimates the sketch's retained memory. Map buckets are
+// costed at 24 bytes each (key+count plus amortized bucket overhead);
+// the figure is an accounting estimate, not a precise heap measurement.
+func (s *QuantileSketch) MemoryBytes() int {
+	const perBucket, fixed = 24, 96
+	return fixed + (len(s.pos.buckets)+len(s.neg.buckets))*perBucket
+}

@@ -32,21 +32,19 @@ func Summarize(sample []float64) Summary {
 	}
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
-	// Welford's one-pass mean/variance: the textbook sumSq/n − mean² form
-	// cancels catastrophically when the sample mean is large relative to
-	// its spread (e.g. completion times in the 1e9 range with sub-second
-	// variance), silently reporting a zero or garbage Std.
-	mean, m2 := 0.0, 0.0
-	for i, v := range s {
-		delta := v - mean
-		mean += delta / float64(i+1)
-		m2 += delta * (v - mean)
+	// Welford's one-pass mean/variance (see the Welford type): the
+	// textbook sumSq/n − mean² form cancels catastrophically when the
+	// sample mean is large relative to its spread (e.g. completion times
+	// in the 1e9 range with sub-second variance), silently reporting a
+	// zero or garbage Std.
+	var w Welford
+	for _, v := range s {
+		w.Add(v)
 	}
-	variance := m2 / float64(len(s))
 	return Summary{
 		N:      len(s),
-		Mean:   mean,
-		Std:    math.Sqrt(variance),
+		Mean:   w.Mean(),
+		Std:    w.Std(),
 		Min:    s[0],
 		P25:    Quantile(s, 0.25),
 		Median: Quantile(s, 0.5),

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// Welford is a constant-memory online accumulator of sample moments:
+// count, mean, variance (via the numerically stable Welford recurrence),
+// minimum and maximum. It is the summary-tier building block of
+// internal/metrics — one Welford per job/kind replaces an O(samples)
+// series for every statistic that does not need order information.
+//
+// Memory behavior: O(1) — five words regardless of how many samples are
+// added. Add performs no allocation, so it is safe on the simulation's
+// zero-alloc sampling hot path. The zero value is an empty accumulator
+// ready for use; Welford must not be copied while being written.
+type Welford struct {
+	n          int64
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Add folds one sample into the accumulator. The textbook sumSq/n − mean²
+// form cancels catastrophically when the mean is large relative to the
+// spread; the Welford recurrence does not (see stats.Summarize, which
+// shares it).
+func (w *Welford) Add(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.minV, w.maxV = v, v
+	} else {
+		if v < w.minV {
+			w.minV = v
+		}
+		if v > w.maxV {
+			w.maxV = v
+		}
+	}
+	delta := v - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (v - w.mean)
+}
+
+// Count returns how many samples were added.
+func (w Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance m2/n (0 for an empty accumulator),
+// matching the convention of stats.Summarize.
+func (w Welford) Var() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 for an empty accumulator).
+func (w Welford) Min() float64 { return w.minV }
+
+// Max returns the largest sample (0 for an empty accumulator).
+func (w Welford) Max() float64 { return w.maxV }

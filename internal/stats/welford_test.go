@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestWelfordMoments(t *testing.T) {
+	var w Welford
+	sample := []float64{4, 7, 13, 16}
+	for _, v := range sample {
+		w.Add(v)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if got, want := w.Mean(), 10.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+	if got, want := w.Var(), 22.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("var = %g, want %g", got, want)
+	}
+	if w.Min() != 4 || w.Max() != 16 {
+		t.Fatalf("min/max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatalf("zero-value accumulator not all-zero: %+v", w)
+	}
+}
+
+// TestWelfordMatchesSummarize pins the refactor: Summarize reuses the
+// Welford accumulator, so both must report identical mean/std/min/max.
+func TestWelfordMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := make([]float64, 500)
+	for i := range sample {
+		// Large offset relative to spread: the regime where the naive
+		// sumSq formula cancels catastrophically.
+		sample[i] = 1e9 + rng.Float64()
+	}
+	// Summarize accumulates over the sorted sample; match its order so
+	// the float results are bitwise identical.
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var w Welford
+	for _, v := range sorted {
+		w.Add(v)
+	}
+	s := Summarize(sample)
+	if s.Mean != w.Mean() || s.Std != w.Std() || s.Min != w.Min() || s.Max != w.Max() {
+		t.Fatalf("Summarize diverged from Welford: %+v vs mean=%g std=%g", s, w.Mean(), w.Std())
+	}
+	if s.Std <= 0 || s.Std > 1 {
+		t.Fatalf("std %g outside plausible range for uniform(0,1) spread", s.Std)
+	}
+}

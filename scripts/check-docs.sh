@@ -1,0 +1,32 @@
+#!/bin/sh
+# check-docs.sh — verify every relative markdown link in the repo's docs
+# points at a file (or directory) that exists. No network: external
+# http(s)/mailto links and pure #anchors are skipped, so the check is
+# deterministic and safe for CI. Run from the repo root (make docs).
+set -eu
+
+fail=0
+for doc in README.md ROADMAP.md PAPER.md CHANGES.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract inline link targets: [text](target). One per line; good
+    # enough for the repo's hand-written markdown (no nested parens).
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/' || true)
+    for target in $targets; do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}          # strip an anchor suffix
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$doc: broken link -> $target"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed"
+    exit 1
+fi
+echo "markdown links ok"
