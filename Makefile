@@ -28,10 +28,14 @@ bench:
 
 # Record the perf trajectory: hot-path microbenchmarks (sim, simdocker,
 # flowcon, migrate; 16/64/256 containers per node) plus the cluster-scale
-# scenario on the serial engine and the sharded executor, appended as a
-# per-commit entry to BENCH_sim.json. See README "Performance".
+# scenario on the serial engine and the sharded executor, and the
+# megacluster-smoke streaming run (1000 workers, ~50k lazily generated
+# arrivals), appended as a per-commit entry to BENCH_sim.json. Pass
+# MEGA=full for the complete ~1M-job megacluster day, MEGA=off to skip.
+# See README "Performance".
+MEGA ?= smoke
 bench-json:
-	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_sim.json
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_sim.json -mega $(MEGA)
 
 # Regression gate against the committed BENCH_sim.json: meaningful on the
 # box that recorded the committed baseline (ns/op from different machines
@@ -60,10 +64,14 @@ cover:
 	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
-# The whole scenario registry (including the migration scenarios) must
-# render byte-identically at sweep pool widths 1 and 8 AND between the
-# serial engine and the sharded intra-run executor — the two determinism
-# guarantees CI enforces on every PR.
+# The whole sweep registry (including the migration and streaming
+# production-day scenarios; the heavy megacluster family is covered by
+# its smoke member below) must render byte-identically at sweep pool
+# widths 1 and 8 AND between the serial engine and the sharded intra-run
+# executor — the determinism guarantees CI enforces on every PR. The
+# megacluster-smoke leg drives ~50k streamed arrivals through the lazy
+# admission loop on 1000 workers and holds it to the same shard
+# equivalence.
 determinism:
 	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) build -o $$dir/flowcon-sim ./cmd/flowcon-sim && \
@@ -73,7 +81,11 @@ determinism:
 	echo "scenario output is byte-identical at -parallel 1 and 8" && \
 	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 1 -shard-sim 8 > $$dir/sharded.out && \
 	cmp $$dir/serial.out $$dir/sharded.out && \
-	echo "scenario output is byte-identical at -shard-sim 1 and 8"
+	echo "scenario output is byte-identical at -shard-sim 1 and 8" && \
+	$$dir/flowcon-sim -scenario megacluster-smoke -seeds 1 > $$dir/mega-serial.out && \
+	$$dir/flowcon-sim -scenario megacluster-smoke -seeds 1 -shard-sim 8 > $$dir/mega-sharded.out && \
+	cmp $$dir/mega-serial.out $$dir/mega-sharded.out && \
+	echo "megacluster-smoke streaming output is byte-identical at -shard-sim 1 and 8"
 
 # Short smoke run of every native fuzz target (the corpus under
 # testdata/fuzz runs as regular tests too).

@@ -192,6 +192,15 @@ type (
 	Diurnal = workload.Diurnal
 	// FlashCrowd is a steady trickle plus one spike.
 	FlashCrowd = workload.FlashCrowd
+	// ProductionDay is a diurnal base rate with superimposed flash
+	// crowds — the megacluster scenario family's arrival process.
+	ProductionDay = workload.ProductionDay
+	// Spike is one flash crowd inside a ProductionDay.
+	Spike = workload.Spike
+	// ArrivalStream is the pull-iterator (lazy) form of a schedule;
+	// WorkloadGenerator.Stream emits the identical sequence Generate
+	// materializes for the same seed.
+	ArrivalStream = workload.ArrivalStream
 	// UniformWindow is the paper's N-jobs-at-uniform-times process.
 	UniformWindow = workload.UniformWindow
 	// WorkloadGenerator composes a process with a job mix into seeded
@@ -205,15 +214,24 @@ type (
 
 // Mix constructors.
 var (
-	UniformMix = workload.UniformMix
-	CatalogMix = workload.CatalogMix
+	UniformMix          = workload.UniformMix
+	CatalogMix          = workload.CatalogMix
+	ProductionTenantMix = workload.ProductionTenantMix
 )
 
 // RecordTrace / ReplayTrace serialize schedules as JSONL traces that
 // round-trip byte-identically (see internal/workload Record/Replay).
+// The *Stream forms are their lazy equivalents: RecordTraceStream drains
+// an ArrivalStream to a writer and ReplayTraceStream reads a trace one
+// submission at a time, both in O(1) schedule memory. SliceStream and
+// CollectStream convert between the eager and lazy forms.
 var (
-	RecordTrace = workload.Record
-	ReplayTrace = workload.Replay
+	RecordTrace       = workload.Record
+	ReplayTrace       = workload.Replay
+	RecordTraceStream = workload.RecordStream
+	ReplayTraceStream = workload.ReplayStream
+	SliceStream       = workload.SliceStream
+	CollectStream     = workload.Collect
 )
 
 // Experiments (see internal/experiment).
@@ -272,6 +290,7 @@ var SettingSpecs = experiment.SettingSpecs
 var (
 	RegisterScenario = experiment.RegisterScenario
 	Scenarios        = experiment.Scenarios
+	AllScenarios     = experiment.AllScenarios
 	ScenarioByName   = experiment.ScenarioByName
 	ScenarioSeeds    = experiment.ScenarioSeeds
 	RunScenarios     = experiment.RunScenarios

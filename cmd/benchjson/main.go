@@ -8,7 +8,14 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_sim.json] [-benchtime 1s] [-parallel N] [-shards N]
+//	benchjson [-out BENCH_sim.json] [-benchtime 1s] [-parallel N] [-shards N] [-mega smoke|full|off]
+//
+// -mega appends a megacluster run to the entry: "smoke" (the default)
+// runs megacluster-smoke, the CI-sized 1000-worker slice (~50k jobs);
+// "full" runs the complete ~1M-job megacluster day through the streaming
+// admission path; "off" skips the family. The recorded row carries
+// jobs_per_sim_sec (sustained admission throughput) and
+// arrivals_streamed alongside the usual wall/memory columns.
 //
 // Each scenario run records the metric tier it used (trace_level) and the
 // collector's retained observability memory (collector_bytes); comparing
@@ -66,14 +73,16 @@ const scenarioName = "cluster-scale"
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S+)\s+ns/op(.*)$`)
 
 func main() {
+	const usage = "usage: benchjson [-out file] [-benchtime 1s] [-parallel N] [-shards N] [-mega smoke|full|off]"
 	out := "BENCH_sim.json"
 	benchtime := "1s"
 	parallel := runtime.GOMAXPROCS(0)
 	shards := runtime.GOMAXPROCS(0)
+	mega := "smoke"
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		if i+1 >= len(args) {
-			fatalf("flag %s needs a value (usage: benchjson [-out file] [-benchtime 1s] [-parallel N] [-shards N])", args[i])
+			fatalf("flag %s needs a value (%s)", args[i], usage)
 		}
 		switch args[i] {
 		case "-out":
@@ -96,8 +105,16 @@ func main() {
 				fatalf("bad -shards %q", args[i])
 			}
 			shards = n
+		case "-mega":
+			i++
+			mega = args[i]
+			switch mega {
+			case "smoke", "full", "off":
+			default:
+				fatalf("bad -mega %q (want smoke, full or off)", mega)
+			}
 		default:
-			fatalf("unknown flag %q (usage: benchjson [-out file] [-benchtime 1s] [-parallel N] [-shards N])", args[i])
+			fatalf("unknown flag %q (%s)", args[i], usage)
 		}
 	}
 	experiment.SetDefaultParallelism(parallel)
@@ -124,7 +141,7 @@ func main() {
 	// the memory comparison (collector_bytes summary vs dense) and
 	// measures sketch-vs-dense quantile accuracy.
 	for _, simShards := range []int{1, shards} {
-		sr, err := runScenario(simShards, metrics.TierSummary)
+		sr, err := runScenario(scenarioName, simShards, metrics.TierSummary)
 		if err != nil {
 			fatalf("scenario (shards=%d): %v", simShards, err)
 		}
@@ -133,11 +150,25 @@ func main() {
 			break // one core: the second run would duplicate the first
 		}
 	}
-	dense, err := runScenario(1, metrics.TierDense)
+	dense, err := runScenario(scenarioName, 1, metrics.TierDense)
 	if err != nil {
 		fatalf("scenario (dense): %v", err)
 	}
 	entry.Scenarios = append(entry.Scenarios, dense)
+	// The megacluster run exercises the streaming admission path at the
+	// ROADMAP's thousand-worker scale; its row is where the trajectory
+	// tracks sustained jobs/sec and the O(1)-workload memory claim.
+	if mega != "off" {
+		name := "megacluster-smoke"
+		if mega == "full" {
+			name = "megacluster"
+		}
+		sr, err := runScenario(name, 1, metrics.TierSummary)
+		if err != nil {
+			fatalf("scenario (%s): %v", name, err)
+		}
+		entry.Scenarios = append(entry.Scenarios, sr)
+	}
 
 	rep, err := benchfile.Load(out)
 	if err != nil {
@@ -220,14 +251,14 @@ func runBenchmarks(benchtime string) ([]benchfile.Benchmark, error) {
 	return benches, nil
 }
 
-// runScenario executes the cluster-scale scenario once (seed 1) at the
+// runScenario executes one registered scenario once (seed 1) at the
 // given shard count and metric tier, recording the simulated outcome, its
 // wall-clock cost, and the collector's retained memory. A dense-tier run
 // additionally measures sketch-vs-exact quantile accuracy across its jobs.
-func runScenario(simShards int, tier metrics.Tier) (benchfile.ScenarioResult, error) {
-	scen, ok := experiment.ScenarioByName(scenarioName)
+func runScenario(name string, simShards int, tier metrics.Tier) (benchfile.ScenarioResult, error) {
+	scen, ok := experiment.ScenarioByName(name)
 	if !ok {
-		return benchfile.ScenarioResult{}, fmt.Errorf("scenario %q not registered", scenarioName)
+		return benchfile.ScenarioResult{}, fmt.Errorf("scenario %q not registered", name)
 	}
 	scen.SimShards = simShards
 	scen.TraceLevel = tier
@@ -245,20 +276,24 @@ func runScenario(simShards int, tier metrics.Tier) (benchfile.ScenarioResult, er
 	}
 	res := rep.Result
 	sr := benchfile.ScenarioResult{
-		Name:           scenarioName,
-		Seed:           seed,
-		Workers:        scen.Workers,
-		SimShards:      res.SimShards,
-		SimBatches:     res.SimBatches,
-		Jobs:           res.Submitted,
-		MakespanSec:    res.Makespan,
-		Completed:      res.Completed,
-		WallSec:        wall,
-		TraceLevel:     tier.String(),
-		CollectorBytes: int64(res.Collector.MemoryBytes()),
+		Name:             name,
+		Seed:             seed,
+		Workers:          scen.Workers,
+		SimShards:        res.SimShards,
+		SimBatches:       res.SimBatches,
+		Jobs:             res.Submitted,
+		MakespanSec:      res.Makespan,
+		Completed:        res.Completed,
+		WallSec:          wall,
+		TraceLevel:       tier.String(),
+		CollectorBytes:   int64(res.Collector.MemoryBytes()),
+		ArrivalsStreamed: scen.StreamWorkload != nil,
 	}
 	if wall > 0 {
 		sr.SimulatedPerWallSec = res.Makespan / wall
+	}
+	if res.Makespan > 0 {
+		sr.JobsPerSimSec = float64(res.Submitted) / res.Makespan
 	}
 	if tier == metrics.TierDense {
 		sr.SketchErrP50, sr.SketchErrP95, sr.SketchErrP99 = sketchError(res.Collector)

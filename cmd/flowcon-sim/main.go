@@ -16,9 +16,14 @@
 // any pool width — runs land in spec order regardless of interleaving.
 //
 // Scenarios are seeded arrival-process workloads (Poisson, ON/OFF bursts,
-// diurnal cycles, flash crowds, plus the paper's schedules) from the
-// named registry; -record writes each generated schedule as a replayable
-// JSONL trace and -replay runs such a trace (generated or hand-written).
+// diurnal cycles, flash crowds, production days, plus the paper's
+// schedules) from the named registry; -record writes each generated
+// schedule as a replayable JSONL trace and -replay runs such a trace
+// (generated or hand-written). Scenarios that provide a streaming
+// generator admit arrivals lazily — the megacluster family exists only
+// on that path (a million-job schedule is never materialized) and is
+// excluded from "-scenario all"; run those by name (see README
+// "Workloads").
 // -shard-sim N runs each simulation on per-worker event lanes that
 // execute in parallel inside conservative epochs (0 = auto/GOMAXPROCS);
 // output stays byte-identical to the serial engine at any shard count.

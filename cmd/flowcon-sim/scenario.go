@@ -14,13 +14,15 @@ import (
 	"repro/internal/workload"
 )
 
-// runScenarioList prints the registry.
+// runScenarioList prints the whole registry, heavy scenarios included.
 func runScenarioList() {
-	experiment.ReportScenarioList(os.Stdout, experiment.Scenarios())
+	experiment.ReportScenarioList(os.Stdout, experiment.AllScenarios())
 }
 
-// resolveScenarios expands a comma-separated -scenario value ("all" =
-// whole registry) into scenario definitions, exiting on unknown names.
+// resolveScenarios expands a comma-separated -scenario value into
+// scenario definitions, exiting on unknown names. "all" is the sweep
+// set: every registered scenario except the heavy megacluster family,
+// which runs only when named explicitly.
 func resolveScenarios(arg string) []experiment.Scenario {
 	if strings.EqualFold(arg, "all") {
 		return experiment.Scenarios()
@@ -113,6 +115,20 @@ func runScenarios(scens []experiment.Scenario, seeds []int64, recordDir string) 
 			os.Exit(1)
 		}
 		for i, s := range scens {
+			if s.Workload == nil {
+				// Stream-only scenario (megacluster family): record
+				// incrementally from a throwaway stream — the schedule is
+				// never materialized — and let the run pull a fresh stream,
+				// which generates the identical sequence for the seed.
+				for _, seed := range seeds {
+					path := filepath.Join(recordDir, fmt.Sprintf("%s-seed%d.jsonl", s.Name, seed))
+					if err := recordStreamTrace(path, s.StreamWorkload(seed)); err != nil {
+						fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+						os.Exit(1)
+					}
+				}
+				continue
+			}
 			generated := make(map[int64][]workload.Submission, len(seeds))
 			for _, seed := range seeds {
 				subs := s.Workload(seed)
@@ -130,6 +146,9 @@ func runScenarios(scens []experiment.Scenario, seeds []int64, recordDir string) 
 				}
 				return inner(seed)
 			}
+			// The recorded schedules must be the ones simulated, so the
+			// run takes the eager path through the cache above.
+			scens[i].StreamWorkload = nil
 		}
 		fmt.Printf("recorded %d trace(s) into %s\n", len(scens)*len(seeds), recordDir)
 	}
@@ -151,6 +170,22 @@ func recordTrace(path string, subs []workload.Submission) error {
 		return err
 	}
 	if err := workload.Record(f, subs); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// recordStreamTrace drains an arrival stream straight into a JSONL trace
+// file, holding O(1) schedule state. A stream that fails mid-way leaves
+// no partial trace behind.
+func recordStreamTrace(path string, s workload.ArrivalStream) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := workload.RecordStream(f, s); err != nil {
 		f.Close()
 		os.Remove(path)
 		return err

@@ -49,6 +49,14 @@ type ScenarioResult struct {
 	WallSec float64 `json:"wall_sec"`
 	// SimulatedPerWallSec is virtual seconds simulated per wall second.
 	SimulatedPerWallSec float64 `json:"simulated_per_wall_sec"`
+	// JobsPerSimSec is the sustained admission throughput in simulated
+	// time (jobs / makespan_sec) — the megacluster family's headline
+	// "max sustainable jobs/sec" number. Zero in pre-streaming entries.
+	JobsPerSimSec float64 `json:"jobs_per_sim_sec,omitempty"`
+	// ArrivalsStreamed records that the run admitted its schedule through
+	// the lazy arrival stream instead of a materialized slice, so
+	// workload-layer memory was O(1) in job count.
+	ArrivalsStreamed bool `json:"arrivals_streamed,omitempty"`
 	// TraceLevel is the metric-retention tier the run used ("summary" or
 	// "dense"); empty in entries recorded before tiered collection.
 	TraceLevel string `json:"trace_level,omitempty"`

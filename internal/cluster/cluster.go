@@ -422,6 +422,21 @@ func (m *Manager) Submit(at sim.Time, name string, profile dlmodel.Profile) {
 	})
 }
 
+// SubmitNow admits a job at the current virtual time, placing (or
+// queueing) it immediately instead of scheduling an arrival event. It is
+// the entry point for callers that drive admission themselves — the
+// streaming runner schedules each arrival as its own event and hands the
+// job over the moment it fires, so the manager never holds a schedule.
+func (m *Manager) SubmitNow(name string, profile dlmodel.Profile) {
+	if _, dup := m.placed[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate job name %q", name))
+	}
+	m.placed[name] = nil // reserve
+	m.profiles[name] = profile
+	m.submitted++
+	m.tryPlace(pendingJob{name: name, profile: profile})
+}
+
 // tryPlace launches the job now or queues it.
 func (m *Manager) tryPlace(job pendingJob) {
 	w := m.placement(m.workers, job.profile)

@@ -143,12 +143,16 @@ func ReportScenarioList(w io.Writer, scens []Scenario) {
 				placement = "least-loaded"
 			}
 		}
+		desc := s.Description
+		if s.Heavy {
+			desc = `[heavy, excluded from "all"] ` + desc
+		}
 		rows = append(rows, []string{
 			s.Name,
 			fmt.Sprintf("%d", workers),
 			placement,
 			s.Setting().Label(),
-			s.Description,
+			desc,
 		})
 	}
 	plot.Table(w, []string{"name", "workers", "placement", "setting", "description"}, rows)

@@ -27,8 +27,17 @@ type Spec struct {
 	// receives the run's tracer (the metrics collector) for policies that
 	// record growth efficiency. Required.
 	NewPolicy func(tr flowcon.Tracer) sched.Policy
-	// Submissions is the job arrival schedule. Required, non-empty.
+	// Submissions is the materialized job arrival schedule. Exactly one
+	// of Submissions and Arrivals must be set.
 	Submissions []workload.Submission
+	// Arrivals streams the arrival schedule lazily instead: the runner
+	// keeps exactly one arrival event in flight, pulling the next
+	// submission from the stream when it fires, so a run's memory is
+	// bounded by simulation state rather than schedule length — the
+	// megacluster path. The stream must yield non-decreasing arrival
+	// times (Generator.Stream and ReplayStream both guarantee it) and is
+	// consumed exactly once: a Spec holding a stream is single-use.
+	Arrivals workload.ArrivalStream
 	// Workers is the node count (default 1, as in the paper's testbed).
 	Workers int
 	// Capacity is each node's normalized CPU capacity (default 1.0).
@@ -183,12 +192,16 @@ func RunE(spec Spec) (*Result, error) {
 	if spec.NewPolicy == nil {
 		return nil, fmt.Errorf("experiment: spec %q without policy", spec.Name)
 	}
-	if len(spec.Submissions) == 0 {
+	if len(spec.Submissions) == 0 && spec.Arrivals == nil {
 		return nil, fmt.Errorf("experiment: spec %q without submissions", spec.Name)
+	}
+	if len(spec.Submissions) > 0 && spec.Arrivals != nil {
+		return nil, fmt.Errorf("experiment: spec %q sets both Submissions and Arrivals", spec.Name)
 	}
 	for _, s := range spec.Submissions {
 		// A framework with no image would otherwise surface as a launch
 		// panic mid-run; custom profiles are user input, so fail upfront.
+		// (Streamed submissions get the same check at admission time.)
 		if _, err := cluster.ImageFor(s.Profile.Framework); err != nil {
 			return nil, fmt.Errorf("experiment: spec %q job %q: %v", spec.Name, s.Name, err)
 		}
@@ -321,23 +334,87 @@ func RunE(spec Spec) (*Result, error) {
 	// Stop the engine the moment the last job completes; otherwise the
 	// periodic samplers and executor ticks self-schedule forever. Exits
 	// whose workload did not finish (failure kills) do not count. The
-	// counter is atomic because in sharded mode exits land on concurrent
-	// worker lanes.
-	submitted := len(spec.Submissions)
+	// counters are atomic because in sharded mode exits land on concurrent
+	// worker lanes. In streaming mode the schedule length is unknown until
+	// the stream drains, so termination is stream-exhausted + every
+	// admitted job finished; eager mode marks the stream exhausted upfront
+	// so both modes share one predicate.
+	var submitted atomic.Int64
+	var exhausted atomic.Bool
+	if spec.Arrivals == nil {
+		submitted.Store(int64(len(spec.Submissions)))
+		exhausted.Store(true)
+	}
 	var finished atomic.Int64
 	for _, w := range workers {
 		w.Daemon().OnExit(func(c *simdocker.Container) {
 			if !c.Workload().Done() {
 				return
 			}
-			if finished.Add(1) == int64(submitted) {
+			if finished.Add(1) == submitted.Load() && exhausted.Load() {
 				engine.Stop()
 			}
 		})
 	}
 
-	for _, s := range spec.Submissions {
-		manager.Submit(sim.Time(s.At), s.Name, s.Profile)
+	var streamErr error
+	if spec.Arrivals == nil {
+		for _, s := range spec.Submissions {
+			manager.Submit(sim.Time(s.At), s.Name, s.Profile)
+		}
+	} else {
+		// Streaming admission: exactly one arrival event is in flight at a
+		// time. Admitting submission i pulls i+1 from the stream and
+		// schedules its arrival, so workload-layer memory stays O(1) in
+		// schedule length. The pull-ahead also means exhaustion is always
+		// discovered at the last real admission — before that job can have
+		// finished — which keeps the stop predicate race-free. A stream
+		// that fails mid-run aborts the run; RunE reports its error.
+		fail := func(err error) {
+			streamErr = err
+			engine.Stop()
+		}
+		var schedule func(sub workload.Submission)
+		schedule = func(sub workload.Submission) {
+			engine.At(sim.Time(sub.At), sim.PriorityState, "experiment.arrive."+sub.Name, func() {
+				if _, err := cluster.ImageFor(sub.Profile.Framework); err != nil {
+					fail(fmt.Errorf("experiment: spec %q job %q: %v", spec.Name, sub.Name, err))
+					return
+				}
+				modelOf[sub.Name] = sub.Profile.Key()
+				submitted.Add(1)
+				manager.SubmitNow(sub.Name, sub.Profile)
+				next, ok := spec.Arrivals.Next()
+				switch {
+				case ok:
+					// NaN compares false against everything, so test it
+					// explicitly — it must not reach engine.At.
+					if !(next.At >= sub.At) || math.IsInf(next.At, 0) {
+						fail(fmt.Errorf("experiment: spec %q arrival stream went backwards: %q at %g after %q at %g",
+							spec.Name, next.Name, next.At, sub.Name, sub.At))
+						return
+					}
+					schedule(next)
+				default:
+					if err := spec.Arrivals.Err(); err != nil {
+						fail(fmt.Errorf("experiment: spec %q arrival stream: %w", spec.Name, err))
+						return
+					}
+					exhausted.Store(true)
+				}
+			})
+		}
+		first, ok := spec.Arrivals.Next()
+		if !ok {
+			if err := spec.Arrivals.Err(); err != nil {
+				return nil, fmt.Errorf("experiment: spec %q arrival stream: %w", spec.Name, err)
+			}
+			return nil, fmt.Errorf("experiment: spec %q arrival stream is empty (streams are single-use)", spec.Name)
+		}
+		if first.At < 0 || math.IsNaN(first.At) || math.IsInf(first.At, 0) {
+			return nil, fmt.Errorf("experiment: spec %q arrival stream starts at invalid time %g", spec.Name, first.At)
+		}
+		schedule(first)
 	}
 
 	if sharded != nil {
@@ -345,12 +422,23 @@ func RunE(spec Spec) (*Result, error) {
 		// admission queue is non-empty (an exit schedules a same-instant
 		// drain that may place a job on any worker); near termination the
 		// executor also stays serial so the final exit stops the run at
-		// the same event the serial engine would.
+		// the same event the serial engine would. While the arrival stream
+		// is live the run cannot be near termination no matter how few
+		// admitted jobs remain, so Remaining reports a count safely above
+		// any SerialTail.
 		sharded.ExitsReactive = func() bool { return manager.Queued() > 0 }
-		sharded.Remaining = func() int { return submitted - int(finished.Load()) }
+		sharded.Remaining = func() int {
+			if !exhausted.Load() {
+				return 1 << 30
+			}
+			return int(submitted.Load() - finished.Load())
+		}
 		sharded.Run(sim.Time(spec.Horizon))
 	} else {
 		engine.Run(sim.Time(spec.Horizon))
+	}
+	if streamErr != nil {
+		return nil, streamErr
 	}
 
 	res := &Result{
@@ -361,11 +449,13 @@ func RunE(spec Spec) (*Result, error) {
 		Jobs:       collector.Jobs(),
 		Makespan:   collector.Makespan(),
 		Submitted:  manager.Submitted(),
-		// Complete means every submitted job was placed (a submission whose
-		// arrival lies past the horizon never fires and is invisible to
-		// both the collector and the manager queue) and ran to completion.
+		// Complete means the arrival schedule was fully admitted (a stream
+		// cut off by the horizon leaves exhausted false; an eager
+		// submission past the horizon never fires and is invisible to both
+		// the collector and the manager queue) and every submitted job was
+		// placed and ran to completion.
 		Completed: collector.AllFinished() && manager.Queued() == 0 &&
-			manager.Submitted() == len(collector.Jobs()),
+			manager.Submitted() == len(collector.Jobs()) && exhausted.Load(),
 		Collector: collector,
 		Requeued:  manager.Requeued(),
 		Migrated:  manager.Migrated(),

@@ -26,9 +26,22 @@ type Scenario struct {
 	Name string
 	// Description is the one-line summary shown by -scenario-list.
 	Description string
-	// Workload generates the seed's arrival schedule. Required; must be
-	// a pure function of the seed.
+	// Workload generates the seed's arrival schedule eagerly. Must be a
+	// pure function of the seed. At least one of Workload and
+	// StreamWorkload is required.
 	Workload func(seed int64) []workload.Submission
+	// StreamWorkload generates the seed's arrival schedule lazily
+	// (workload.Generator.Stream): Spec admits arrivals through the
+	// runner's streaming path, holding O(1) workload state however many
+	// jobs the schedule contains. When both generators are set they must
+	// describe the identical schedule — built-ins derive both from one
+	// Generator, and the streaming runner is then the default path.
+	StreamWorkload func(seed int64) workload.ArrivalStream
+	// Heavy marks cluster-scale stress scenarios (the megacluster
+	// family) that are far too expensive for registry-wide sweeps: they
+	// are excluded from Scenarios ("-scenario all", make determinism)
+	// and run only when named explicitly. AllScenarios lists them.
+	Heavy bool
 	// Workers is the cluster size (default 1).
 	Workers int
 	// Placement selects workers (nil = cluster.LeastLoaded).
@@ -44,6 +57,13 @@ type Scenario struct {
 	MaxContainersPerWorker int
 	// Horizon overrides the simulated-time safety cap (0 = default).
 	Horizon float64
+	// Capacity, SamplePeriod and ContentionOverhead override the
+	// corresponding Spec knobs (0 = runner default; ContentionOverhead
+	// < 0 disables contention, as in Spec). The megacluster family uses
+	// them to model beefy multi-core nodes with coarse sampling.
+	Capacity           float64
+	SamplePeriod       float64
+	ContentionOverhead float64
 	// Rebalance attaches the GE-aware migration rebalancer with this
 	// configuration (a fresh instance per run). It is the declarative
 	// route the CLI's -rebalance/-migration-cost flags can inspect and
@@ -86,16 +106,26 @@ func (s Scenario) Spec(seed int64) Spec {
 	spec := Spec{
 		Name:                   fmt.Sprintf("%s [seed=%d %s]", s.Name, seed, setting.Label()),
 		NewPolicy:              FlowConPolicy(setting.Alpha, setting.Itval),
-		Submissions:            s.Workload(seed),
 		Workers:                s.Workers,
 		Placement:              s.Placement,
 		MaxContainersPerWorker: s.MaxContainersPerWorker,
 		Horizon:                s.Horizon,
+		Capacity:               s.Capacity,
+		SamplePeriod:           s.SamplePeriod,
+		ContentionOverhead:     s.ContentionOverhead,
 		ClusterPolicy:          s.ClusterPolicy,
 		Drains:                 s.Drains,
 		MigrationCost:          s.MigrationCost,
 		SimShards:              s.SimShards,
 		TraceLevel:             s.TraceLevel,
+	}
+	// Streaming is the preferred admission path when the scenario offers
+	// it; the eager generator remains for trace recording and for the
+	// equivalence tests that pin both paths to the same schedule.
+	if s.StreamWorkload != nil {
+		spec.Arrivals = s.StreamWorkload(seed)
+	} else {
+		spec.Submissions = s.Workload(seed)
 	}
 	if s.Rebalance != nil {
 		spec.ClusterPolicy = RebalancerPolicy(*s.Rebalance)
@@ -110,7 +140,7 @@ func (s Scenario) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("experiment: scenario without name")
 	}
-	if s.Workload == nil {
+	if s.Workload == nil && s.StreamWorkload == nil {
 		return fmt.Errorf("experiment: scenario %q without workload generator", s.Name)
 	}
 	if s.Workers < 0 {
@@ -124,6 +154,15 @@ func (s Scenario) validate() error {
 	}
 	if math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) || s.Horizon < 0 {
 		return fmt.Errorf("experiment: scenario %q horizon %g must be finite and non-negative (0 = default)", s.Name, s.Horizon)
+	}
+	if math.IsNaN(s.Capacity) || math.IsInf(s.Capacity, 0) || s.Capacity < 0 {
+		return fmt.Errorf("experiment: scenario %q capacity %g must be finite and non-negative (0 = default)", s.Name, s.Capacity)
+	}
+	if math.IsNaN(s.SamplePeriod) || math.IsInf(s.SamplePeriod, 0) || s.SamplePeriod < 0 {
+		return fmt.Errorf("experiment: scenario %q sample period %g must be finite and non-negative (0 = default)", s.Name, s.SamplePeriod)
+	}
+	if math.IsNaN(s.ContentionOverhead) || math.IsInf(s.ContentionOverhead, 0) {
+		return fmt.Errorf("experiment: scenario %q contention overhead %g must be finite (0 = default, negative = none)", s.Name, s.ContentionOverhead)
 	}
 	if s.MaxContainersPerWorker < 0 {
 		return fmt.Errorf("experiment: scenario %q has negative container cap %d", s.Name, s.MaxContainersPerWorker)
@@ -185,9 +224,24 @@ func ScenarioByName(name string) (Scenario, bool) {
 	return s, ok
 }
 
-// Scenarios returns every registered scenario sorted by name, so listings
-// and sweeps over the registry are deterministic.
+// Scenarios returns the registered sweep-weight scenarios sorted by
+// name — the set "-scenario all" and make determinism iterate. Heavy
+// scenarios (megacluster family) are excluded; use AllScenarios for
+// listings or ScenarioByName to run one explicitly.
 func Scenarios() []Scenario {
+	all := AllScenarios()
+	out := all[:0]
+	for _, s := range all {
+		if !s.Heavy {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AllScenarios returns every registered scenario — heavy included —
+// sorted by name, so listings over the registry are deterministic.
+func AllScenarios() []Scenario {
 	scenarioMu.Lock()
 	defer scenarioMu.Unlock()
 	out := make([]Scenario, 0, len(scenarioReg))
@@ -228,31 +282,39 @@ func init() {
 	// -scenario-list description, so the listing can never drift from the
 	// rates actually simulated.
 	poisson := workload.Poisson{Rate: 0.04, WindowSec: 200, MaxJobs: 20}
+	poissonGen := workload.Generator{Process: poisson, Mix: catalog, MinJobs: 2}
 	mustRegisterScenario(Scenario{
-		Name:        "poisson",
-		Description: "steady production traffic: " + poisson.Describe(),
-		Workload:    workload.Generator{Process: poisson, Mix: catalog, MinJobs: 2}.Generate,
+		Name:           "poisson",
+		Description:    "steady production traffic: " + poisson.Describe(),
+		Workload:       poissonGen.Generate,
+		StreamWorkload: poissonGen.Stream,
 	})
 	bursty := workload.OnOff{OnRate: 0.2, OnSec: 20, OffSec: 70, WindowSec: 290, MaxJobs: 24}
+	burstyGen := workload.Generator{Process: bursty, Mix: catalog, MinJobs: 2}
 	mustRegisterScenario(Scenario{
-		Name:        "bursty",
-		Description: "queue-flush bursts on 2 spread workers: " + bursty.Describe(),
-		Workload:    workload.Generator{Process: bursty, Mix: catalog, MinJobs: 2}.Generate,
-		Workers:     2,
+		Name:           "bursty",
+		Description:    "queue-flush bursts on 2 spread workers: " + bursty.Describe(),
+		Workload:       burstyGen.Generate,
+		StreamWorkload: burstyGen.Stream,
+		Workers:        2,
 	})
 	diurnal := workload.Diurnal{BaseRate: 0.03, Amplitude: 0.9, PeriodSec: 300, WindowSec: 600, MaxJobs: 30}
+	diurnalGen := workload.Generator{Process: diurnal, Mix: catalog, MinJobs: 4}
 	mustRegisterScenario(Scenario{
-		Name:        "diurnal",
-		Description: "compressed day/night cycle on 4 spread workers: " + diurnal.Describe(),
-		Workload:    workload.Generator{Process: diurnal, Mix: catalog, MinJobs: 4}.Generate,
-		Workers:     4,
+		Name:           "diurnal",
+		Description:    "compressed day/night cycle on 4 spread workers: " + diurnal.Describe(),
+		Workload:       diurnalGen.Generate,
+		StreamWorkload: diurnalGen.Stream,
+		Workers:        4,
 	})
 	flashcrowd := workload.FlashCrowd{BaseRate: 0.01, SpikeAt: 120, SpikeSec: 30, SpikeRate: 0.3,
 		WindowSec: 300, MaxJobs: 24}
+	flashcrowdGen := workload.Generator{Process: flashcrowd, Mix: catalog, MinJobs: 4}
 	mustRegisterScenario(Scenario{
 		Name:                   "flashcrowd",
 		Description:            "retry-storm spike, 4 consolidated workers with admission cap: " + flashcrowd.Describe(),
-		Workload:               workload.Generator{Process: flashcrowd, Mix: catalog, MinJobs: 4}.Generate,
+		Workload:               flashcrowdGen.Generate,
+		StreamWorkload:         flashcrowdGen.Stream,
 		Workers:                4,
 		Placement:              cluster.BinPackMemory,
 		PlacementName:          "binpack-memory",
@@ -266,11 +328,13 @@ func init() {
 	// runs it and records the result in BENCH_sim.json.
 	clusterScale := workload.FlashCrowd{BaseRate: 3, SpikeAt: 600, SpikeSec: 60, SpikeRate: 12,
 		WindowSec: 900, MaxJobs: 5000}
+	clusterScaleGen := workload.Generator{Process: clusterScale, Mix: catalog, MinJobs: 256}
 	mustRegisterScenario(Scenario{
 		Name: "cluster-scale",
 		Description: "perf baseline, 256 workers with admission cap: " +
 			clusterScale.Describe(),
-		Workload:               workload.Generator{Process: clusterScale, Mix: catalog, MinJobs: 256}.Generate,
+		Workload:               clusterScaleGen.Generate,
+		StreamWorkload:         clusterScaleGen.Stream,
 		Workers:                256,
 		MaxContainersPerWorker: 16,
 		Horizon:                20000,
@@ -283,11 +347,12 @@ func init() {
 	// pair is the acceptance experiment for internal/migrate (a test
 	// asserts rebalancing improves makespan and 95p completion).
 	hotspot := workload.Poisson{Rate: 0.08, WindowSec: 150, MaxJobs: 16}
-	hotspotWorkload := workload.Generator{Process: hotspot, Mix: catalog, MinJobs: 10}.Generate
+	hotspotGen := workload.Generator{Process: hotspot, Mix: catalog, MinJobs: 10}
 	mustRegisterScenario(Scenario{
 		Name:                   "hotspot",
 		Description:            "skewed first-fit placement, no rebalancing: " + hotspot.Describe(),
-		Workload:               hotspotWorkload,
+		Workload:               hotspotGen.Generate,
+		StreamWorkload:         hotspotGen.Stream,
 		Workers:                4,
 		Placement:              cluster.FirstFit,
 		PlacementName:          "first-fit",
@@ -296,7 +361,8 @@ func init() {
 	mustRegisterScenario(Scenario{
 		Name:                   "hotspot-rebalance",
 		Description:            "hotspot workload with the GE-aware migration rebalancer attached",
-		Workload:               hotspotWorkload,
+		Workload:               hotspotGen.Generate,
+		StreamWorkload:         hotspotGen.Stream,
 		Workers:                4,
 		Placement:              cluster.FirstFit,
 		PlacementName:          "first-fit",
@@ -308,11 +374,13 @@ func init() {
 	// cordoned and live-drained in turn, with checkpointed jobs paying
 	// the freeze/transfer/thaw cost and landing on the survivors.
 	drainArrivals := workload.Poisson{Rate: 0.05, WindowSec: 120, MaxJobs: 10}
+	drainGen := workload.Generator{Process: drainArrivals, Mix: catalog, MinJobs: 6}
 	mustRegisterScenario(Scenario{
-		Name:        "rolling-drain",
-		Description: "rolling maintenance, 3 workers drained in turn: " + drainArrivals.Describe(),
-		Workload:    workload.Generator{Process: drainArrivals, Mix: catalog, MinJobs: 6}.Generate,
-		Workers:     3,
+		Name:           "rolling-drain",
+		Description:    "rolling maintenance, 3 workers drained in turn: " + drainArrivals.Describe(),
+		Workload:       drainGen.Generate,
+		StreamWorkload: drainGen.Stream,
+		Workers:        3,
 		Drains: []Drain{
 			{Worker: 0, At: 60, UncordonAt: 160},
 			{Worker: 1, At: 160, UncordonAt: 260},

@@ -71,6 +71,15 @@ func TestScenarioWorkloadsSeedDeterministic(t *testing.T) {
 		if len(a) == 0 {
 			t.Fatalf("scenario %q generated an empty schedule", s.Name)
 		}
+		if s.StreamWorkload != nil {
+			streamed, err := workload.Collect(s.StreamWorkload(3))
+			if err != nil {
+				t.Fatalf("scenario %q stream: %v", s.Name, err)
+			}
+			if !reflect.DeepEqual(a, streamed) {
+				t.Fatalf("scenario %q streamed schedule diverges from its eager one", s.Name)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// renderScenario runs one scenario definition across seeds and returns
+// its rendered ReportScenario table.
+func renderScenario(t *testing.T, s Scenario, seeds []int64) string {
+	t.Helper()
+	outs, err := RunScenarios(context.Background(), []Scenario{s}, seeds, SweepOptions{})
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	var buf bytes.Buffer
+	ReportScenario(&buf, outs)
+	return buf.String()
+}
+
+// The tentpole acceptance check at the experiment layer: every built-in
+// scenario that offers both generators produces a byte-identical
+// ReportScenario table whether its schedule is materialized upfront or
+// streamed through the lazy admission loop.
+func TestStreamingScenarioReportsMatchEager(t *testing.T) {
+	for _, s := range AllScenarios() {
+		if s.Workload == nil || s.StreamWorkload == nil {
+			continue
+		}
+		seeds := []int64{1, 2}
+		if s.Name == "cluster-scale" {
+			if testing.Short() {
+				continue // thousands of jobs per run
+			}
+			seeds = []int64{1}
+		}
+		eager := s
+		eager.StreamWorkload = nil
+		if got, want := renderScenario(t, s, seeds), renderScenario(t, eager, seeds); got != want {
+			t.Errorf("%s: streaming report diverged from eager report\nstreaming:\n%s\neager:\n%s",
+				s.Name, got, want)
+		}
+	}
+}
+
+// The megacluster family is heavy and stream-only: reachable by name,
+// listed by AllScenarios, but never swept by "-scenario all". The light
+// production-day member rides the sweep set with both generators.
+func TestMegaclusterFamilyRegistry(t *testing.T) {
+	for _, name := range []string{"megacluster", "megacluster-5k", "megacluster-smoke"} {
+		s, ok := ScenarioByName(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		if !s.Heavy {
+			t.Errorf("%s must be marked Heavy", name)
+		}
+		if s.StreamWorkload == nil || s.Workload != nil {
+			t.Errorf("%s must be stream-only (eager materialization would exceed the workload cap)", name)
+		}
+		if err := s.validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for _, s := range Scenarios() {
+		if s.Heavy {
+			t.Errorf("heavy scenario %q leaked into the sweep set", s.Name)
+		}
+	}
+	listed := false
+	for _, s := range AllScenarios() {
+		if s.Name == "megacluster" {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Error("AllScenarios omits heavy scenarios")
+	}
+	pd, ok := ScenarioByName("production-day")
+	if !ok || pd.Heavy || pd.Workload == nil || pd.StreamWorkload == nil {
+		t.Errorf("production-day must ride the sweep set with both generators (ok=%v heavy=%v)", ok, pd.Heavy)
+	}
+}
+
+// failingStream yields one valid submission, then reports a mid-stream
+// failure — the runner must abort and surface the error.
+type failingStream struct{ sent bool }
+
+func (f *failingStream) Next() (workload.Submission, bool) {
+	if f.sent {
+		return workload.Submission{}, false
+	}
+	f.sent = true
+	return workload.Submission{Name: "a", Profile: workload.FixedSchedule()[0].Profile, At: 0}, true
+}
+
+func (f *failingStream) Err() error { return errors.New("trace disk unplugged") }
+
+// The streaming Spec surface rejects misuse the eager path cannot
+// express: ambiguous double schedules, empty or failing streams, and
+// arrival times the engine could not order.
+func TestStreamingSpecValidation(t *testing.T) {
+	profile := workload.FixedSchedule()[0].Profile
+	base := func() Spec {
+		return Spec{Name: "stream-validation", NewPolicy: FlowConPolicy(0.05, 20)}
+	}
+	run := func(mutate func(*Spec)) error {
+		spec := base()
+		mutate(&spec)
+		_, err := RunE(spec)
+		return err
+	}
+	cases := map[string]struct {
+		mutate func(*Spec)
+		want   string
+	}{
+		"both schedules": {func(s *Spec) {
+			s.Submissions = workload.FixedSchedule()
+			s.Arrivals = workload.SliceStream(workload.FixedSchedule())
+		}, "both Submissions and Arrivals"},
+		"empty stream": {func(s *Spec) {
+			s.Arrivals = workload.SliceStream(nil)
+		}, "empty"},
+		"failing stream": {func(s *Spec) {
+			s.Arrivals = &failingStream{}
+		}, "trace disk unplugged"},
+		"invalid first time": {func(s *Spec) {
+			s.Arrivals = workload.SliceStream([]workload.Submission{
+				{Name: "a", Profile: profile, At: math.NaN()}})
+		}, "invalid time"},
+		"backwards stream": {func(s *Spec) {
+			s.Arrivals = workload.SliceStream([]workload.Submission{
+				{Name: "a", Profile: profile, At: 10},
+				{Name: "b", Profile: profile, At: 5}})
+		}, "backwards"},
+		"nan mid-stream": {func(s *Spec) {
+			s.Arrivals = workload.SliceStream([]workload.Submission{
+				{Name: "a", Profile: profile, At: 10},
+				{Name: "b", Profile: profile, At: math.NaN()}})
+		}, "backwards"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := run(tc.mutate)
+			if err == nil {
+				t.Fatalf("%s accepted", name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A stream cut off by the horizon must not report itself complete: the
+// tail of the schedule was never admitted, even though every job the
+// runner did admit finished.
+func TestStreamingIncompleteWhenHorizonCutsStream(t *testing.T) {
+	profile := workload.FixedSchedule()[2].Profile
+	res, err := RunE(Spec{
+		Name: "stream-past-horizon", NewPolicy: FlowConPolicy(0.05, 20),
+		Arrivals: workload.SliceStream([]workload.Submission{
+			{Name: "now", Profile: profile, At: 0},
+			{Name: "never", Profile: profile, At: 60000},
+		}),
+		Horizon: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 1 || len(res.Jobs) != 1 {
+		t.Fatalf("Submitted=%d placed=%d, want 1/1 (the tail never arrived)", res.Submitted, len(res.Jobs))
+	}
+	if res.Completed {
+		t.Fatal("run with an unadmitted stream tail reported Completed")
+	}
+}

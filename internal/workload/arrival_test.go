@@ -20,6 +20,8 @@ func allProcesses() map[string]ArrivalProcess {
 		"diurnal":    Diurnal{BaseRate: 0.08, Amplitude: 0.9, PeriodSec: 150, WindowSec: 300},
 		"flashcrowd": FlashCrowd{BaseRate: 0.02, SpikeAt: 100, SpikeSec: 20, SpikeRate: 0.5, WindowSec: 300},
 		"uniform":    UniformWindow{Jobs: 12, WindowSec: 200},
+		"productionday": ProductionDay{BaseRate: 0.1, Amplitude: 0.7, WindowSec: 400,
+			Spikes: []Spike{{At: 80, Sec: 30, Rate: 0.4}, {At: 90, Sec: 40, Rate: 0.3}}},
 	}
 }
 
@@ -262,7 +264,7 @@ func FuzzGenerate(f *testing.F) {
 		}
 		window = math.Min(window, 5000)
 		var proc ArrivalProcess
-		switch kind % 5 {
+		switch kind % 6 {
 		case 0:
 			proc = Poisson{Rate: rate, WindowSec: window, MaxJobs: 200}
 		case 1:
@@ -272,6 +274,10 @@ func FuzzGenerate(f *testing.F) {
 		case 3:
 			proc = FlashCrowd{BaseRate: rate, SpikeAt: window / 4, SpikeSec: window / 8, SpikeRate: rate * 3,
 				WindowSec: window, MaxJobs: 200}
+		case 4:
+			proc = ProductionDay{BaseRate: rate, Amplitude: 0.6, WindowSec: window, MaxJobs: 200,
+				Spikes: []Spike{{At: window / 5, Sec: window / 10, Rate: rate * 2},
+					{At: window / 4, Sec: window / 10, Rate: rate}}}
 		default:
 			proc = UniformWindow{Jobs: int(minJobs)%20 + 1, WindowSec: window}
 		}
@@ -280,6 +286,13 @@ func FuzzGenerate(f *testing.F) {
 		again := gen.Generate(seed)
 		if !reflect.DeepEqual(subs, again) {
 			t.Fatalf("non-deterministic: %v vs %v", subs, again)
+		}
+		streamed, err := Collect(gen.Stream(seed))
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		if !reflect.DeepEqual(subs, streamed) {
+			t.Fatalf("stream diverged from eager schedule: %d vs %d jobs", len(streamed), len(subs))
 		}
 		if len(subs) == 0 {
 			t.Fatal("empty schedule")

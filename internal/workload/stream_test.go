@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The tentpole equivalence property: for every built-in process (the
+// thinning streamers and the eager-only uniform fallback), across seeds
+// and padding regimes, the collected stream is the exact schedule the
+// eager generator materializes — names, profiles, and times.
+func TestStreamMatchesGenerate(t *testing.T) {
+	procs := allProcesses()
+	// A capped process exercises equivalence through an intentional
+	// MaxJobs truncation (the rng stops mid-window on both paths).
+	procs["poisson-capped"] = Poisson{Rate: 0.5, WindowSec: 1000, MaxJobs: 30}
+	for name, p := range procs {
+		for _, minJobs := range []int{0, 40} { // 40 forces padding for every table entry
+			for seed := int64(1); seed <= 8; seed++ {
+				g := Generator{Process: p, MinJobs: minJobs}
+				want := g.Generate(seed)
+				got, err := Collect(g.Stream(seed))
+				if err != nil {
+					t.Fatalf("%s minJobs=%d seed=%d: stream error: %v", name, minJobs, seed, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s minJobs=%d seed=%d: stream diverged from eager schedule (%d vs %d jobs)",
+						name, minJobs, seed, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// A drained stream stays drained, and pulls past exhaustion are safe.
+func TestStreamSingleUse(t *testing.T) {
+	g := Generator{Process: Poisson{Rate: 0.1, WindowSec: 100}}
+	s := g.Stream(1)
+	if _, err := Collect(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Next(); ok {
+			t.Fatal("drained stream yielded another submission")
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean exhaustion reported error: %v", err)
+	}
+}
+
+// Streaming is exempt from the eager materialization cap: a MaxJobs far
+// above maxArrivals streams to completion while holding O(1) state.
+func TestStreamBeyondEagerCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("draws >100k arrivals")
+	}
+	p := Poisson{Rate: 50, WindowSec: 5000, MaxJobs: maxArrivals + 20000}
+	s := Generator{Process: p}.Stream(7)
+	n := 0
+	last := -1.0
+	for sub, ok := s.Next(); ok; sub, ok = s.Next() {
+		if sub.At < last {
+			t.Fatalf("stream went backwards at job %d: %g after %g", n+1, sub.At, last)
+		}
+		last = sub.At
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != p.MaxJobs {
+		t.Fatalf("streamed %d jobs, want MaxJobs=%d", n, p.MaxJobs)
+	}
+}
+
+// The safety-net regression pair: an uncapped runaway process must panic
+// loudly (naming its rate and window via Describe) instead of silently
+// truncating at maxArrivals, and a MaxJobs above the cap is refused as an
+// impossible materialization. The intentional small-MaxJobs cap stays
+// silent (TestMaxJobsCap).
+func TestEagerSafetyCapFailsLoudly(t *testing.T) {
+	mustPanic := func(name, wantSub string, fn func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				msg, _ := r.(string)
+				if !strings.Contains(msg, wantSub) {
+					t.Fatalf("panic %q does not mention %q", msg, wantSub)
+				}
+			}()
+			fn()
+		})
+	}
+	runaway := Poisson{Rate: 500, WindowSec: 5000} // ~2.5M expected arrivals, no cap
+	mustPanic("runaway uncapped", "safety cap", func() {
+		runaway.Times(rand.New(rand.NewSource(1)))
+	})
+	mustPanic("runaway names rate and window", runaway.Describe(), func() {
+		runaway.Times(rand.New(rand.NewSource(1)))
+	})
+	huge := Poisson{Rate: 500, WindowSec: 5000, MaxJobs: maxArrivals + 1}
+	mustPanic("MaxJobs above cap", "materialization cap", func() {
+		huge.Times(rand.New(rand.NewSource(1)))
+	})
+	// The same configurations stream without complaint — drawing a prefix
+	// proves the panic is about materializing, not about the process.
+	it := runaway.TimesIter(rand.New(rand.NewSource(1)))
+	for i := 0; i < maxArrivals+5; i++ {
+		if _, ok := it(); !ok {
+			t.Fatalf("runaway stream ended after %d arrivals", i)
+		}
+	}
+}
+
+// SliceStream/Collect round-trip a materialized schedule unchanged.
+func TestSliceStreamRoundTrip(t *testing.T) {
+	want := FixedSchedule()
+	got, err := Collect(SliceStream(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip changed schedule:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// ProductionDay's thinning bound must cover the worst instant: the
+// diurnal crest plus the largest sum of overlapping spikes.
+func TestProductionDayPeak(t *testing.T) {
+	overlapping := ProductionDay{BaseRate: 1, Amplitude: 0.5, WindowSec: 100,
+		Spikes: []Spike{{At: 10, Sec: 20, Rate: 2}, {At: 15, Sec: 20, Rate: 3}}}
+	if got, want := overlapping.peak(), 1.5+5.0; got != want {
+		t.Fatalf("overlapping spikes: peak %g, want %g", got, want)
+	}
+	disjoint := ProductionDay{BaseRate: 1, Amplitude: 0.5, WindowSec: 100,
+		Spikes: []Spike{{At: 10, Sec: 5, Rate: 2}, {At: 15, Sec: 5, Rate: 3}}}
+	if got, want := disjoint.peak(), 1.5+3.0; got != want {
+		t.Fatalf("back-to-back spikes: peak %g, want %g (half-open intervals must not stack)", got, want)
+	}
+	// The instantaneous rate must never exceed the thinning bound — the
+	// correctness condition of Lewis–Shedler rejection sampling.
+	for _, p := range []ProductionDay{overlapping, disjoint} {
+		peak := p.peak()
+		for t0 := 0.0; t0 < p.WindowSec; t0 += 0.25 {
+			if r := p.rate(t0); r > peak+1e-9 || r < 0 {
+				t.Fatalf("rate(%g)=%g outside [0, peak=%g]", t0, r, peak)
+			}
+		}
+	}
+}
+
+// ProductionDay rejects malformed parameters like its sibling processes.
+func TestProductionDayValidation(t *testing.T) {
+	cases := map[string]ProductionDay{
+		"amplitude":      {BaseRate: 1, Amplitude: 1.5, WindowSec: 100},
+		"spike rate":     {BaseRate: 1, WindowSec: 100, Spikes: []Spike{{At: 10, Sec: 5}}},
+		"spike past end": {BaseRate: 1, WindowSec: 100, Spikes: []Spike{{At: 100, Sec: 5, Rate: 1}}},
+		"window":         {BaseRate: 1, WindowSec: math.Inf(1)},
+	}
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted: %+v", name, p)
+				}
+			}()
+			p.Times(rand.New(rand.NewSource(1)))
+		})
+	}
+}
+
+// The production tenant mix is valid and skews short: its mean total work
+// must sit well below the uniform catalog's, the property that makes
+// million-job megacluster runs tractable.
+func TestProductionTenantMix(t *testing.T) {
+	mix := ProductionTenantMix()
+	mix.validate()
+	meanWork := func(m Mix) float64 {
+		work, weight := 0.0, 0.0
+		for _, e := range m {
+			work += e.Weight * e.Profile.TotalWork
+			weight += e.Weight
+		}
+		return work / weight
+	}
+	if tenant, catalog := meanWork(mix), meanWork(CatalogMix()); tenant >= 0.6*catalog {
+		t.Fatalf("tenant mix mean work %.1f not short-skewed vs catalog %.1f", tenant, catalog)
+	}
+}

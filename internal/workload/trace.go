@@ -32,47 +32,107 @@ type traceLine struct {
 // Record writes the schedule as a JSONL trace. The whole trace is
 // validated and encoded before the first byte reaches w, so a rejected
 // schedule never leaves a truncated-but-replayable prefix behind.
+// Schedules must be in arrival order (non-decreasing At) — the invariant
+// every consumer of a trace relies on.
 func Record(w io.Writer, subs []Submission) error {
 	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	seen := make(map[string]bool, len(subs))
-	for i, s := range subs {
-		if err := validateSubmission(i, s); err != nil {
-			return err
-		}
-		if seen[s.Name] {
-			return fmt.Errorf("workload: duplicate job %q in schedule", s.Name)
-		}
-		seen[s.Name] = true
-		// A trace is only replayable if the model key resolves to the
-		// identical catalog profile — reject at record time instead of
-		// handing back a file Replay will refuse (or silently reinterpret).
-		if catalog, ok := dlmodel.Find(s.Profile.Key()); !ok || !reflect.DeepEqual(catalog, s.Profile) {
-			return fmt.Errorf("workload: submission %d (%s) uses model %q, which is not a catalog profile — traces can only carry catalog models",
-				i+1, s.Name, s.Profile.Key())
-		}
-		// Encode appends the newline that terminates the JSONL line.
-		if err := enc.Encode(traceLine{Job: s.Name, Model: s.Profile.Key(), At: s.At}); err != nil {
-			return fmt.Errorf("workload: recording line %d: %w", i+1, err)
-		}
+	if _, err := RecordStream(&buf, SliceStream(subs)); err != nil {
+		return err
 	}
 	_, err := w.Write(buf.Bytes())
 	return err
 }
 
+// RecordStream writes a stream as a JSONL trace without materializing it,
+// applying the same validation as Record one submission at a time, and
+// returns how many submissions it wrote. Unlike Record, output reaches w
+// incrementally: a mid-stream rejection (or stream error) leaves a
+// truncated prefix behind, so callers recording to a file should remove
+// it on error — the CLI does.
+func RecordStream(w io.Writer, s ArrivalStream) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	seen := make(map[string]bool)
+	lastAt := 0.0
+	n := 0
+	for sub, ok := s.Next(); ok; sub, ok = s.Next() {
+		if err := validateSubmission(n, sub); err != nil {
+			return n, fmt.Errorf("workload: %w", err)
+		}
+		if seen[sub.Name] {
+			return n, fmt.Errorf("workload: duplicate job %q in schedule", sub.Name)
+		}
+		seen[sub.Name] = true
+		if sub.At < lastAt {
+			return n, fmt.Errorf("workload: submission %d (%s) arrives at %g, before its predecessor at %g — schedules must be in arrival order",
+				n+1, sub.Name, sub.At, lastAt)
+		}
+		lastAt = sub.At
+		// A trace is only replayable if the model key resolves to the
+		// identical catalog profile — reject at record time instead of
+		// handing back a file Replay will refuse (or silently reinterpret).
+		if catalog, ok := dlmodel.Find(sub.Profile.Key()); !ok || !reflect.DeepEqual(catalog, sub.Profile) {
+			return n, fmt.Errorf("workload: submission %d (%s) uses model %q, which is not a catalog profile — traces can only carry catalog models",
+				n+1, sub.Name, sub.Profile.Key())
+		}
+		// Encode appends the newline that terminates the JSONL line.
+		if err := enc.Encode(traceLine{Job: sub.Name, Model: sub.Profile.Key(), At: sub.At}); err != nil {
+			return n, fmt.Errorf("workload: recording line %d: %w", n+1, err)
+		}
+		n++
+	}
+	if err := s.Err(); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
 // Replay parses a JSONL trace back into a schedule. Every model key must
 // resolve in the dlmodel catalog; job names must be unique and non-empty;
-// arrival times must be finite and non-negative. Blank lines are allowed
-// (and dropped — they are not part of the canonical form).
+// arrival times must be finite, non-negative, and non-decreasing — a
+// trace that is not in arrival order would silently break the
+// "Job-1..Job-n in arrival order" invariant reports rely on, so it is
+// rejected with the offending line number. Blank lines are allowed (and
+// dropped — they are not part of the canonical form).
 func Replay(r io.Reader) ([]Submission, error) {
-	var subs []Submission
-	seen := make(map[string]bool)
+	return Collect(ReplayStream(r))
+}
+
+// ReplayStream parses a JSONL trace lazily, one submission per pull, with
+// exactly Replay's validation. Memory is O(distinct job names) — the
+// duplicate check — rather than O(trace length), so megacluster traces
+// replay without materializing. After Next returns ok=false, Err reports
+// what ended the stream: nil for a clean end, otherwise the line-numbered
+// parse or validation error.
+func ReplayStream(r io.Reader) ArrivalStream {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &replayStream{sc: sc, seen: make(map[string]bool)}
+}
+
+type replayStream struct {
+	sc     *bufio.Scanner
+	seen   map[string]bool
+	lineNo int
+	lastAt float64
+	n      int
+	err    error
+	done   bool
+}
+
+func (s *replayStream) fail(err error) (Submission, bool) {
+	s.err = err
+	s.done = true
+	return Submission{}, false
+}
+
+func (s *replayStream) Next() (Submission, bool) {
+	if s.done {
+		return Submission{}, false
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
 		if line == "" {
 			continue
 		}
@@ -80,33 +140,41 @@ func Replay(r io.Reader) ([]Submission, error) {
 		dec := json.NewDecoder(strings.NewReader(line))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&tl); err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+			return s.fail(fmt.Errorf("workload: trace line %d: %w", s.lineNo, err))
 		}
 		if dec.More() {
-			return nil, fmt.Errorf("workload: trace line %d: trailing data after record", lineNo)
+			return s.fail(fmt.Errorf("workload: trace line %d: trailing data after record", s.lineNo))
 		}
 		profile, ok := dlmodel.Find(tl.Model)
 		if !ok {
-			return nil, fmt.Errorf("workload: trace line %d: unknown model %q", lineNo, tl.Model)
+			return s.fail(fmt.Errorf("workload: trace line %d: unknown model %q", s.lineNo, tl.Model))
 		}
-		if seen[tl.Job] {
-			return nil, fmt.Errorf("workload: trace line %d: duplicate job %q", lineNo, tl.Job)
+		if s.seen[tl.Job] {
+			return s.fail(fmt.Errorf("workload: trace line %d: duplicate job %q", s.lineNo, tl.Job))
 		}
 		sub := Submission{Name: tl.Job, Profile: profile, At: tl.At}
-		if err := validateSubmission(len(subs), sub); err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: %w", lineNo, err)
+		if err := validateSubmission(s.n, sub); err != nil {
+			return s.fail(fmt.Errorf("workload: trace line %d: %w", s.lineNo, err))
 		}
-		seen[tl.Job] = true
-		subs = append(subs, sub)
+		if sub.At < s.lastAt {
+			return s.fail(fmt.Errorf("workload: trace line %d: job %q arrives at %g, before the previous submission at %g — traces must be in arrival order",
+				s.lineNo, sub.Name, sub.At, s.lastAt))
+		}
+		s.seen[tl.Job] = true
+		s.lastAt = sub.At
+		s.n++
+		return sub, true
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	s.done = true
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("workload: reading trace: %w", err)
+	} else if s.n == 0 {
+		s.err = fmt.Errorf("workload: trace has no submissions")
 	}
-	if len(subs) == 0 {
-		return nil, fmt.Errorf("workload: trace has no submissions")
-	}
-	return subs, nil
+	return Submission{}, false
 }
+
+func (s *replayStream) Err() error { return s.err }
 
 // validateSubmission rejects schedules the simulator would choke on.
 func validateSubmission(i int, s Submission) error {

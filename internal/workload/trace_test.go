@@ -59,6 +59,111 @@ func TestTraceRoundTripFixedSchedule(t *testing.T) {
 	}
 }
 
+// A hand-written trace whose arrival times run backwards silently broke
+// the "Job-1..Job-n in arrival order" invariant before; now both Replay
+// and ReplayStream reject it, naming the offending line.
+func TestReplayRejectsOutOfOrderTrace(t *testing.T) {
+	trace := `{"job":"a","model":"RNN-GRU (Tensorflow)","at":10}
+{"job":"b","model":"RNN-GRU (Tensorflow)","at":25}
+{"job":"c","model":"RNN-GRU (Tensorflow)","at":24.5}
+`
+	_, err := Replay(strings.NewReader(trace))
+	if err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	for _, want := range []string{"line 3", "arrival order", "24.5", "25"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	// The streaming reader yields the valid prefix, then fails with the
+	// same error at the offending line.
+	s := ReplayStream(strings.NewReader(trace))
+	n := 0
+	for _, ok := s.Next(); ok; _, ok = s.Next() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("stream yielded %d submissions before failing, want 2", n)
+	}
+	if serr := s.Err(); serr == nil || serr.Error() != err.Error() {
+		t.Fatalf("stream error %v, want %v", serr, err)
+	}
+	// Equal times are fine — simultaneous submissions are legal.
+	tied := `{"job":"a","model":"RNN-GRU (Tensorflow)","at":10}
+{"job":"b","model":"RNN-GRU (Tensorflow)","at":10}
+`
+	if _, err := Replay(strings.NewReader(tied)); err != nil {
+		t.Fatalf("tied arrival times rejected: %v", err)
+	}
+}
+
+// Record refuses to write a schedule that is not in arrival order — it
+// would produce a trace Replay must reject.
+func TestRecordRejectsOutOfOrderSchedule(t *testing.T) {
+	gru := dlmodel.GRU()
+	subs := []Submission{
+		{Name: "a", Profile: gru, At: 10},
+		{Name: "b", Profile: gru, At: 5},
+	}
+	var buf bytes.Buffer
+	err := Record(&buf, subs)
+	if err == nil {
+		t.Fatal("out-of-order schedule accepted")
+	}
+	if !strings.Contains(err.Error(), "arrival order") {
+		t.Fatalf("error %q does not explain the ordering rule", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected schedule still wrote %d bytes", buf.Len())
+	}
+}
+
+// ReplayStream and Replay accept the same traces with identical content,
+// and RecordStream(ReplayStream) reproduces a recorded trace byte for
+// byte without materializing it.
+func TestStreamTraceRoundTrip(t *testing.T) {
+	gen := Generator{Process: Poisson{Rate: 0.08, WindowSec: 200}, MinJobs: 3}
+	for seed := int64(1); seed <= 5; seed++ {
+		subs := gen.Generate(seed)
+		var eager bytes.Buffer
+		if err := Record(&eager, subs); err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := Collect(ReplayStream(bytes.NewReader(eager.Bytes())))
+		if err != nil {
+			t.Fatalf("seed %d: replay stream: %v", seed, err)
+		}
+		if !reflect.DeepEqual(subs, streamed) {
+			t.Fatalf("seed %d: streamed replay diverged", seed)
+		}
+		var again bytes.Buffer
+		n, err := RecordStream(&again, ReplayStream(bytes.NewReader(eager.Bytes())))
+		if err != nil {
+			t.Fatalf("seed %d: record stream: %v", seed, err)
+		}
+		if n != len(subs) {
+			t.Fatalf("seed %d: RecordStream wrote %d submissions, want %d", seed, n, len(subs))
+		}
+		if !bytes.Equal(eager.Bytes(), again.Bytes()) {
+			t.Fatalf("seed %d: stream round trip not byte-identical", seed)
+		}
+	}
+	// And straight from the generator: recording a Stream equals
+	// recording the materialized Generate output.
+	var fromStream bytes.Buffer
+	if _, err := RecordStream(&fromStream, gen.Stream(3)); err != nil {
+		t.Fatal(err)
+	}
+	var fromSlice bytes.Buffer
+	if err := Record(&fromSlice, gen.Generate(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromStream.Bytes(), fromSlice.Bytes()) {
+		t.Fatal("recording a generator stream diverged from recording its eager schedule")
+	}
+}
+
 // Replay tolerates blank lines in hand-written traces.
 func TestReplaySkipsBlankLines(t *testing.T) {
 	in := "\n{\"job\":\"a\",\"model\":\"RNN-GRU (Tensorflow)\",\"at\":1}\n\n" +
