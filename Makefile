@@ -8,7 +8,7 @@ FUZZTIME ?= 20s
 # Per-benchmark budget for bench-json (CI smoke passes 1x).
 BENCHTIME ?= 1s
 
-.PHONY: all build test race bench bench-json bench-compare bench-compare-base fmt vet cover fuzz determinism docs ci
+.PHONY: all build test race bench bench-json bench-compare bench-compare-base fmt vet cover fuzz determinism docs lint-imports loadtest-smoke ci
 
 all: build test
 
@@ -100,4 +100,19 @@ fuzz:
 docs: fmt vet
 	./scripts/check-docs.sh
 
-ci: fmt vet build race bench cover fuzz determinism docs
+# Layering lint: policy packages must stay on the backend-neutral
+# runtime.Runtime surface — the rebalancer in particular must never
+# reach for the concrete simdocker backend again (see docs/RUNTIME.md).
+lint-imports:
+	@if grep -rn '"repro/internal/simdocker"' internal/migrate/*.go; then \
+		echo "internal/migrate must not import simdocker: use runtime.Runtime"; exit 1; \
+	fi
+	@echo "import layering ok (internal/migrate is simdocker-free)"
+
+# Boot a real flowcon-worker and drive /v1 with concurrent submitters:
+# zero errors, bounded p99 submit latency, clean SIGTERM shutdown. The
+# latency fields land additively on BENCH_sim.json's newest entry.
+loadtest-smoke:
+	./scripts/loadtest-smoke.sh
+
+ci: fmt vet lint-imports build race bench cover fuzz determinism docs loadtest-smoke

@@ -100,6 +100,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/realtime"
+	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/simdocker"
 	"repro/internal/stats"
@@ -423,6 +424,39 @@ const ArchiveSchemaVersion = metrics.ArchiveSchemaVersion
 // ReadArchive parses an archive written by Archive.WriteJSON, rejecting
 // wrong schema versions loudly.
 var ReadArchive = metrics.ReadArchive
+
+// Pluggable container-runtime layer (see internal/runtime and
+// docs/RUNTIME.md): one backend-neutral lifecycle contract behind the
+// cluster, the migration subsystem, and the versioned /v1 agent service.
+// Four implementations conform — the deterministic simulator, the
+// wall-clock in-process node, the remote HTTP client, and cluster
+// workers wrapping any of them — all verified by the shared
+// runtimetest conformance suite.
+type (
+	// ContainerRuntime is the pluggable lifecycle contract
+	// (launch/stop/lookup/PS, CPU-limit updates, Algorithm 1 stats,
+	// capacity/memory aggregates, checkpoint/restore, start/exit hooks).
+	ContainerRuntime = rt.Runtime
+	// ContainerView is the immutable point-in-time view of one container
+	// every runtime reports.
+	ContainerView = rt.Container
+	// ContainerLaunchSpec describes one container to launch.
+	ContainerLaunchSpec = rt.LaunchSpec
+	// ContainerState is the coarse lifecycle phase (queued, running,
+	// exited).
+	ContainerState = rt.State
+)
+
+// Runtime sentinel errors: backends wrap these, so errors.Is matches
+// across implementations (and across the /v1 wire).
+var (
+	// ErrRuntimeUnsupported marks operations a backend's semantics
+	// forbid (e.g. checkpointing across the agent wire).
+	ErrRuntimeUnsupported = rt.ErrUnsupported
+	// ErrQueueFull is the agent service's admission backpressure
+	// (HTTP 429 on the wire).
+	ErrQueueFull = rt.ErrQueueFull
+)
 
 // Real-time deployment surface (wall-clock driver over the pure core).
 type (

@@ -7,13 +7,15 @@
 //	                [-itval 30s] [-poll 1s] [-duration 0] [-demo]
 //
 // With -demo, the manager submits the paper's fixed three-job schedule
-// (time-scaled 10x faster so the demo lasts ~40s of wall time) and prints
-// the per-container classification and limits as FlowCon adapts them.
-// -duration bounds the run (0 = until interrupted).
+// through the managed /v1/jobs surface (time-scaled 10x faster so the
+// demo lasts ~40s of wall time) and prints the per-container
+// classification and limits as FlowCon adapts them. -duration bounds the
+// run (0 = until interrupted).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/flowcon"
 	"repro/internal/realtime"
+	"repro/internal/runtime"
 )
 
 func main() {
@@ -35,13 +38,6 @@ func main() {
 	demo := flag.Bool("demo", false, "submit the demo workload (fixed schedule, 10x time-scaled)")
 	flag.Parse()
 
-	client := agent.NewClient(*worker, nil)
-	pong, err := client.Ping()
-	if err != nil {
-		log.Fatalf("flowcon-manager: worker unreachable: %v", err)
-	}
-	log.Printf("connected to worker (capacity %.2f, %d running)", pong.Capacity, pong.Running)
-
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	if *duration > 0 {
@@ -49,6 +45,15 @@ func main() {
 		defer cancel2()
 		ctx = ctx2
 	}
+
+	client := agent.NewClient(*worker, nil)
+	// The worker may still be booting; retry with backoff before giving up.
+	pong, err := client.PingRetry(ctx, 5)
+	if err != nil {
+		log.Fatalf("flowcon-manager: worker unreachable: %v", err)
+	}
+	log.Printf("connected to worker (capacity %.2f, %d running, %d queued)",
+		pong.Capacity, pong.Running, pong.Queued)
 
 	if *demo {
 		go submitDemo(ctx, client)
@@ -67,29 +72,43 @@ func main() {
 	log.Printf("stopped after %d Algorithm 1 runs", driver.Runs())
 }
 
-// submitDemo launches the fixed schedule at 10x speed: VAE at t=0,
-// MNIST-PT at t=4s, MNIST-TF at t=8s.
+// submitDemo submits the fixed schedule at 10x speed through the managed
+// jobs surface: VAE at t=0, MNIST-PT at t=4s, MNIST-TF at t=8s. A full
+// worker queue backs off and retries rather than dropping the job.
 func submitDemo(ctx context.Context, c *agent.Client) {
-	launch := func(name, model string) {
-		if _, err := c.Launch(name, model); err != nil {
-			log.Printf("demo launch %s: %v", name, err)
-		} else {
-			log.Printf("demo: launched %s (%s)", name, model)
+	submit := func(name, model string) {
+		for {
+			st, err := c.Submit(ctx, agent.SubmitRequest{Name: name, Model: model})
+			switch {
+			case err == nil:
+				log.Printf("demo: submitted %s (%s) -> %s", name, model, st.State)
+				return
+			case errors.Is(err, runtime.ErrQueueFull):
+				log.Printf("demo: worker queue full, retrying %s", name)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Second):
+				}
+			default:
+				log.Printf("demo submit %s: %v", name, err)
+				return
+			}
 		}
 	}
-	launch("vae", "VAE (Pytorch)")
+	submit("vae", "VAE (Pytorch)")
 	select {
 	case <-ctx.Done():
 		return
 	case <-time.After(4 * time.Second):
 	}
-	launch("mnist-pt", "MNIST (Pytorch)")
+	submit("mnist-pt", "MNIST (Pytorch)")
 	select {
 	case <-ctx.Done():
 		return
 	case <-time.After(4 * time.Second):
 	}
-	launch("mnist-tf", "MNIST (Tensorflow)")
+	submit("mnist-tf", "MNIST (Tensorflow)")
 }
 
 // reportLoop prints a status table every few seconds.
@@ -101,7 +120,7 @@ func reportLoop(ctx context.Context, c *agent.Client, d *realtime.Driver) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			containers, err := c.Containers()
+			containers, err := c.Containers(ctx)
 			if err != nil {
 				log.Printf("status: %v", err)
 				continue

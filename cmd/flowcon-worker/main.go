@@ -1,53 +1,104 @@
 // Command flowcon-worker runs a live worker agent: an in-process container
 // runtime (synthetic DL jobs advancing in wall-clock time) exposed over
-// the HTTP protocol a flowcon-manager governs — the worker half of the
-// paper's Figure 2, deployable on a separate machine.
+// the versioned /v1 HTTP protocol a flowcon-manager governs — the worker
+// half of the paper's Figure 2, deployable on a separate machine.
 //
 // Usage:
 //
 //	flowcon-worker [-addr :7070] [-capacity 1.0] [-settle 250ms]
+//	               [-max-running 0] [-queue-depth 16]
+//
+// -max-running bounds concurrently running jobs admitted through
+// /v1/jobs (0 = unlimited); overflow queues up to -queue-depth deep, and
+// beyond that submissions get 429.
+//
+// On SIGINT/SIGTERM the worker shuts down gracefully: it stops accepting
+// submissions (503), stops every running container, finishes in-flight
+// HTTP requests, and exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/livedock"
+	"repro/internal/runtime"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	capacity := flag.Float64("capacity", 1.0, "normalized CPU capacity of this node")
 	settle := flag.Duration("settle", 250*time.Millisecond, "background accounting period")
+	maxRunning := flag.Int("max-running", 0, "max concurrently running jobs via /v1/jobs (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 16, "admission queue depth before /v1/jobs returns 429")
 	flag.Parse()
 
 	if *capacity <= 0 {
 		log.Fatal("flowcon-worker: capacity must be positive")
 	}
+	if *maxRunning < 0 || *queueDepth < 0 {
+		log.Fatal("flowcon-worker: admission limits must be non-negative")
+	}
 	node := livedock.NewNode(*capacity)
-	node.OnExit(func(id string) {
-		log.Printf("container %s exited", id)
+	node.OnExit(func(c runtime.Container) {
+		log.Printf("container %s (%s) exited", c.ID, c.Name)
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	// Background settle loop bounds completion-detection latency even when
 	// no manager is polling.
 	go func() {
 		ticker := time.NewTicker(*settle)
 		defer ticker.Stop()
-		for range ticker.C {
-			node.Settle()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				node.Settle()
+			}
 		}
 	}()
 
 	srv := agent.NewServer(node, *capacity)
+	srv.SetAdmissionLimits(*maxRunning, *queueDepth)
+	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv.Handler())}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Print("flowcon-worker: shutting down")
+		// Graceful sequence: refuse new submissions, stop the containers,
+		// then let in-flight HTTP requests finish.
+		srv.Drain()
+		for _, c := range node.PS(false) {
+			if err := node.Stop(c.ID); err != nil {
+				log.Printf("flowcon-worker: stopping %s: %v", c.ID, err)
+			}
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("flowcon-worker: shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("flowcon-worker listening on %s (capacity %.2f)", *addr, *capacity)
-	if err := http.ListenAndServe(*addr, logRequests(srv.Handler())); err != nil {
-		log.Fatal(fmt.Errorf("flowcon-worker: %w", err))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("flowcon-worker: %v", err)
 	}
+	<-done
+	log.Print("flowcon-worker: stopped")
 }
 
 // logRequests is a minimal access log.

@@ -1,0 +1,93 @@
+// Command loadtest drives a flowcon-worker's /v1 submit surface with
+// concurrent submitters and reports the submit-latency distribution —
+// the CI loadtest-smoke gate (scripts/loadtest-smoke.sh boots a worker,
+// runs this against it, and fails on any error or a p99 over budget).
+//
+// Usage:
+//
+//	loadtest -worker http://localhost:7070 [-submitters 8] [-jobs 25]
+//	         [-model "MNIST (Pytorch)"] [-p99-budget 500ms]
+//	         [-bench-out BENCH_sim.json] [-cleanup]
+//
+// With -bench-out the latency fields are recorded additively on the
+// newest BENCH_sim.json entry (schema stays 2; see docs/BENCH_SCHEMA.md).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/benchfile"
+)
+
+func main() {
+	worker := flag.String("worker", "http://localhost:7070", "worker agent base URL")
+	submitters := flag.Int("submitters", 8, "concurrent submitter goroutines")
+	jobs := flag.Int("jobs", 25, "submissions per submitter")
+	model := flag.String("model", "MNIST (Pytorch)", "catalog model key to submit")
+	budget := flag.Duration("p99-budget", 0, "fail when p99 submit latency exceeds this (0 = no gate)")
+	benchOut := flag.String("bench-out", "", "record the result on the newest entry of this BENCH_sim.json (skipped when empty)")
+	cleanup := flag.Bool("cleanup", true, "cancel submitted jobs afterwards")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall run budget")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c := agent.NewClient(*worker, nil)
+	if _, err := c.PingRetry(ctx, 10); err != nil {
+		log.Fatalf("loadtest: worker unreachable: %v", err)
+	}
+
+	rep := agent.RunLoadTest(ctx, c, agent.LoadOptions{
+		Submitters:       *submitters,
+		JobsPerSubmitter: *jobs,
+		Model:            *model,
+		Cleanup:          *cleanup,
+	})
+	fmt.Printf("loadtest: %s\n", rep)
+
+	if *benchOut != "" {
+		if err := record(*benchOut, *submitters, rep); err != nil {
+			log.Printf("loadtest: recording to %s: %v", *benchOut, err)
+		} else {
+			log.Printf("loadtest: recorded on newest entry of %s", *benchOut)
+		}
+	}
+
+	if rep.Errors > 0 {
+		log.Fatalf("loadtest: %d submissions failed (first: %v)", rep.Errors, rep.FirstError)
+	}
+	if *budget > 0 && rep.P99 > *budget {
+		log.Fatalf("loadtest: p99 %s exceeds budget %s", rep.P99, *budget)
+	}
+	os.Exit(0)
+}
+
+// record attaches the latency fields to the newest BENCH_sim.json entry.
+func record(path string, submitters int, rep agent.LoadReport) error {
+	doc, err := benchfile.Load(path)
+	if err != nil {
+		return err
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("no entries to attach to")
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	doc.Entries[len(doc.Entries)-1].Loadtest = &benchfile.LoadtestResult{
+		Submitters: submitters,
+		Jobs:       rep.Submitted + rep.Errors,
+		Errors:     rep.Errors,
+		P50Ms:      ms(rep.P50),
+		P95Ms:      ms(rep.P95),
+		P99Ms:      ms(rep.P99),
+		MaxMs:      ms(rep.Max),
+		WallSec:    rep.Elapsed.Seconds(),
+	}
+	return doc.Write(path)
+}

@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -44,7 +45,7 @@ func testAgent(t *testing.T) (*Client, *fakeClock) {
 
 func TestPing(t *testing.T) {
 	c, _ := testAgent(t)
-	pong, err := c.Ping()
+	pong, err := c.Ping(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestPing(t *testing.T) {
 
 func TestLaunchStatsStop(t *testing.T) {
 	c, clk := testAgent(t)
-	id, err := c.Launch("job-a", "MNIST (Tensorflow)")
+	id, err := c.Launch(context.Background(), "job-a", "MNIST (Tensorflow)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestLaunchStatsStop(t *testing.T) {
 	if err := c.SetCPULimit(id, 0.25); err != nil {
 		t.Fatal(err)
 	}
-	list, err := c.Containers()
+	list, err := c.Containers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +84,10 @@ func TestLaunchStatsStop(t *testing.T) {
 		t.Fatalf("containers = %+v", list)
 	}
 
-	if err := c.Stop(id); err != nil {
+	if err := c.Stop(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	list, _ = c.Containers()
+	list, _ = c.Containers(context.Background())
 	if list[0].State != "exited" {
 		t.Fatalf("state after stop = %s", list[0].State)
 	}
@@ -94,26 +95,26 @@ func TestLaunchStatsStop(t *testing.T) {
 
 func TestErrorMapping(t *testing.T) {
 	c, _ := testAgent(t)
-	if _, err := c.Launch("", "MNIST (Tensorflow)"); err == nil || !strings.Contains(err.Error(), "required") {
+	if _, err := c.Launch(context.Background(), "", "MNIST (Tensorflow)"); err == nil || !strings.Contains(err.Error(), "required") {
 		t.Fatalf("empty name err = %v", err)
 	}
-	if _, err := c.Launch("x", "NoSuchNet"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+	if _, err := c.Launch(context.Background(), "x", "NoSuchNet"); err == nil || !strings.Contains(err.Error(), "unknown model") {
 		t.Fatalf("unknown model err = %v", err)
 	}
 	if err := c.SetCPULimit("ghost", 0.5); err == nil || !strings.Contains(err.Error(), "no such container") {
 		t.Fatalf("missing container err = %v", err)
 	}
-	id, _ := c.Launch("y", "RNN-GRU (Tensorflow)")
+	id, _ := c.Launch(context.Background(), "y", "RNN-GRU (Tensorflow)")
 	if err := c.SetCPULimit(id, 7); err == nil || !strings.Contains(err.Error(), "limit") {
 		t.Fatalf("bad limit err = %v", err)
 	}
-	if err := c.Stop("ghost"); err == nil {
+	if err := c.Stop(context.Background(), "ghost"); err == nil {
 		t.Fatal("stop ghost succeeded")
 	}
-	if err := c.Stop(id); err != nil {
+	if err := c.Stop(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Stop(id); err == nil {
+	if err := c.Stop(context.Background(), id); err == nil {
 		t.Fatal("double stop succeeded")
 	}
 }
@@ -136,7 +137,7 @@ func TestClientDegradedOnDeadAgent(t *testing.T) {
 func TestRemoteFlowConDriver(t *testing.T) {
 	c, clk := testAgent(t)
 
-	vaeID, err := c.Launch("vae", "VAE (Pytorch)")
+	vaeID, err := c.Launch(context.Background(), "vae", "VAE (Pytorch)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRemoteFlowConDriver(t *testing.T) {
 	for step := 1; step <= 120; step++ {
 		clk.Advance(time.Second)
 		if step == 80 {
-			mnistID, err = c.Launch("mnist", "MNIST (Tensorflow)")
+			mnistID, err = c.Launch(context.Background(), "mnist", "MNIST (Tensorflow)")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -160,7 +161,7 @@ func TestRemoteFlowConDriver(t *testing.T) {
 		t.Fatalf("remote MNIST in %v, want NL", l)
 	}
 	// The converged remote VAE carries a throttled limit set over HTTP.
-	containers, err := c.Containers()
+	containers, err := c.Containers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+package agent
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/livedock"
+	"repro/internal/runtime"
+	"repro/internal/runtime/runtimetest"
+)
+
+// TestRuntimeConformance runs the shared runtime.Runtime suite against
+// the remote backend: a RemoteRuntime client driving a Server over
+// loopback HTTP, with a fake-clock livedock node behind it. Hooks are
+// poll-driven on this backend, so Sync flushes them; checkpointing
+// cannot cross the wire, so the suite asserts ErrUnsupported.
+func TestRuntimeConformance(t *testing.T) {
+	runtimetest.Run(t, func(t *testing.T) *runtimetest.Env {
+		clk := newFakeClock()
+		node := livedock.NewNodeWithClock(1.0, clk.Now)
+		srv := httptest.NewServer(NewServer(node, 1.0).Handler())
+		t.Cleanup(srv.Close)
+		c := NewClient(srv.URL, srv.Client())
+		rt, err := c.Runtime(context.Background())
+		if err != nil {
+			t.Fatalf("runtime handshake: %v", err)
+		}
+		return &runtimetest.Env{
+			RT: rt,
+			Spec: func(name string) runtime.LaunchSpec {
+				return runtime.LaunchSpec{Name: name, Model: "MNIST (Pytorch)"}
+			},
+			Advance: func(seconds float64) {
+				clk.Advance(time.Duration(seconds * float64(time.Second)))
+				node.Settle()
+			},
+			Sync: func() {
+				if _, err := rt.Poll(); err != nil {
+					t.Fatalf("Poll: %v", err)
+				}
+			},
+			Checkpointing: false,
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions configures RunLoadTest. Zero values take the defaults in
+// parentheses.
+type LoadOptions struct {
+	// Submitters is the number of concurrent submitter goroutines (4).
+	Submitters int
+	// JobsPerSubmitter is how many jobs each goroutine submits (25).
+	JobsPerSubmitter int
+	// Model is the catalog model key to submit ("MNIST (Pytorch)").
+	Model string
+	// NamePrefix namespaces the job names so repeated runs against one
+	// worker do not collide ("lt").
+	NamePrefix string
+	// Cleanup cancels every successfully submitted job afterwards, so the
+	// worker is left (approximately) as found.
+	Cleanup bool
+}
+
+// LoadReport is the outcome of one load-test run: error counts and the
+// submit-latency distribution a smoke gate asserts on.
+type LoadReport struct {
+	// Submitted counts successful submissions; Queued of those entered
+	// the admission queue instead of launching immediately.
+	Submitted int
+	Queued    int
+	// Errors counts failed submissions; FirstError is the first one seen.
+	Errors     int
+	FirstError error
+	// P50/P95/P99/Max summarize the submit round-trip latency.
+	P50, P95, P99, Max time.Duration
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// String renders the one-line summary the CLI prints.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("submitted=%d queued=%d errors=%d p50=%s p95=%s p99=%s max=%s elapsed=%s",
+		r.Submitted, r.Queued, r.Errors, r.P50, r.P95, r.P99, r.Max, r.Elapsed)
+}
+
+// RunLoadTest drives the worker's /v1 submit surface with concurrent
+// submitters and reports the latency distribution. A transport- or
+// server-rejected submission counts as an error (admission backpressure
+// included — size the worker's queue for the offered load, or gate on
+// Errors to detect mis-sizing). The context cancels the run early.
+func RunLoadTest(ctx context.Context, c *Client, opts LoadOptions) LoadReport {
+	if opts.Submitters <= 0 {
+		opts.Submitters = 4
+	}
+	if opts.JobsPerSubmitter <= 0 {
+		opts.JobsPerSubmitter = 25
+	}
+	if opts.Model == "" {
+		opts.Model = "MNIST (Pytorch)"
+	}
+	if opts.NamePrefix == "" {
+		opts.NamePrefix = "lt"
+	}
+
+	type sample struct {
+		d      time.Duration
+		queued bool
+		err    error
+		name   string
+	}
+	samples := make([]sample, opts.Submitters*opts.JobsPerSubmitter)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opts.JobsPerSubmitter; i++ {
+				if ctx.Err() != nil {
+					samples[w*opts.JobsPerSubmitter+i] = sample{err: ctx.Err()}
+					continue
+				}
+				name := fmt.Sprintf("%s-%d-%d", opts.NamePrefix, w, i)
+				t0 := time.Now()
+				st, err := c.Submit(ctx, SubmitRequest{Name: name, Model: opts.Model})
+				samples[w*opts.JobsPerSubmitter+i] = sample{
+					d:      time.Since(t0),
+					queued: err == nil && st.State == "queued",
+					err:    err,
+					name:   name,
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := LoadReport{Elapsed: time.Since(start)}
+	var lat []time.Duration
+	for _, s := range samples {
+		if s.err != nil {
+			rep.Errors++
+			if rep.FirstError == nil {
+				rep.FirstError = s.err
+			}
+			continue
+		}
+		rep.Submitted++
+		if s.queued {
+			rep.Queued++
+		}
+		lat = append(lat, s.d)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rep.P50 = percentile(lat, 0.50)
+		rep.P95 = percentile(lat, 0.95)
+		rep.P99 = percentile(lat, 0.99)
+		rep.Max = lat[len(lat)-1]
+	}
+
+	if opts.Cleanup {
+		for _, s := range samples {
+			if s.err == nil {
+				_, _ = c.CancelJob(ctx, s.name)
+			}
+		}
+	}
+	return rep
+}
+
+// percentile reads the p-th quantile (nearest-rank) from a sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

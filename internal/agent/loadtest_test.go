@@ -1,0 +1,68 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/livedock"
+	"repro/internal/runtime"
+)
+
+// The in-process load test: concurrent submitters against a real server,
+// zero errors, a full latency distribution, and cleanup leaving no
+// running containers behind. Under -race this doubles as a concurrency
+// check on the whole submit path.
+func TestRunLoadTest(t *testing.T) {
+	clk := newFakeClock()
+	node := livedock.NewNodeWithClock(1.0, clk.Now)
+	srv := httptest.NewServer(NewServer(node, 1.0).Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, srv.Client())
+
+	rep := RunLoadTest(context.Background(), c, LoadOptions{
+		Submitters:       4,
+		JobsPerSubmitter: 10,
+		Cleanup:          true,
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d (first: %v)", rep.Errors, rep.FirstError)
+	}
+	if rep.Submitted != 40 {
+		t.Fatalf("submitted = %d, want 40", rep.Submitted)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("latency distribution out of order: %s", rep)
+	}
+	if n := node.RunningCount(); n != 0 {
+		t.Fatalf("cleanup left %d containers running", n)
+	}
+}
+
+// Backpressure surfaces as errors the smoke gate can assert on: with one
+// running slot and a one-deep queue, most of the offered load is
+// rejected with ErrQueueFull.
+func TestRunLoadTestBackpressure(t *testing.T) {
+	clk := newFakeClock()
+	node := livedock.NewNodeWithClock(1.0, clk.Now)
+	s := NewServer(node, 1.0)
+	s.SetAdmissionLimits(1, 1)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, srv.Client())
+
+	rep := RunLoadTest(context.Background(), c, LoadOptions{
+		Submitters:       2,
+		JobsPerSubmitter: 5,
+	})
+	if rep.Submitted != 2 {
+		t.Fatalf("submitted = %d, want 2 (1 running + 1 queued)", rep.Submitted)
+	}
+	if rep.Queued != 1 {
+		t.Fatalf("queued = %d, want 1", rep.Queued)
+	}
+	if rep.Errors != 8 || !errors.Is(rep.FirstError, runtime.ErrQueueFull) {
+		t.Fatalf("errors = %d first=%v, want 8 x ErrQueueFull", rep.Errors, rep.FirstError)
+	}
+}

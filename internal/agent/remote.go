@@ -1,0 +1,297 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/flowcon"
+	"repro/internal/runtime"
+)
+
+// RemoteRuntime adapts a Client to the backend-neutral runtime.Runtime
+// interface — the fourth implementation, where the "backend" is a whole
+// flowcon-worker across the network. Lifecycle calls go through the /v1
+// jobs and containers routes; the workload lives on the worker, so
+// LaunchSpec.Model (a catalog key) is required and LaunchSpec.Workload is
+// ignored.
+//
+// Checkpoint/Restore return runtime.ErrUnsupported: a live workload
+// cannot be serialized over this wire protocol. Callers feature-test
+// with errors.Is, exactly as documented in docs/RUNTIME.md.
+//
+// Start/exit hooks are poll-driven: the adapter has no push channel from
+// the worker, so Poll diffs the remote pool and fires the hooks for
+// containers that appeared or exited since the previous Poll. Call it at
+// whatever cadence the listener layer needs (the manager's poll loop).
+type RemoteRuntime struct {
+	c   *Client
+	ctx context.Context
+	// capacity is snapshotted at construction: a node's CPU capacity is
+	// static, unlike the memory/running aggregates fetched per call.
+	capacity float64
+
+	mu        sync.Mutex
+	known     map[string]runtime.Container // last observed running set
+	startSubs []func(runtime.Container)
+	exitSubs  []func(runtime.Container)
+}
+
+var _ runtime.Runtime = (*RemoteRuntime)(nil)
+
+// Runtime upgrades the client to the full runtime.Runtime surface. It
+// pings the worker once to learn its capacity; ctx bounds that ping and
+// every subsequent interface call (the lifecycle methods have no ctx
+// parameter of their own).
+func (c *Client) Runtime(ctx context.Context) (*RemoteRuntime, error) {
+	pong, err := c.Ping(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("agent: runtime handshake: %w", err)
+	}
+	return &RemoteRuntime{
+		c:        c,
+		ctx:      ctx,
+		capacity: pong.Capacity,
+		known:    make(map[string]runtime.Container),
+	}, nil
+}
+
+// viewOfInfo converts the wire container form to the runtime view.
+func viewOfInfo(ci ContainerInfo) runtime.Container {
+	return runtime.Container{
+		ID:          ci.ID,
+		Name:        ci.Name,
+		Model:       ci.Model,
+		State:       stateOf(ci.State),
+		CPULimit:    ci.CPULimit,
+		CPUAlloc:    ci.CPUAlloc,
+		CPUSeconds:  ci.CPUSeconds,
+		MemoryBytes: ci.MemoryBytes,
+		StartedAt:   ci.StartedAt,
+		FinishedAt:  ci.FinishedAt,
+		Done:        ci.Done,
+	}
+}
+
+// viewOfJob converts a job status to the runtime view.
+func viewOfJob(st JobStatus) runtime.Container {
+	return runtime.Container{
+		ID:          st.ID,
+		Name:        st.Name,
+		Model:       st.Model,
+		State:       stateOf(st.State),
+		CPULimit:    st.CPULimit,
+		CPUAlloc:    st.CPUAlloc,
+		CPUSeconds:  st.CPUSeconds,
+		MemoryBytes: st.MemoryBytes,
+		StartedAt:   st.StartedAt,
+		FinishedAt:  st.FinishedAt,
+		Done:        st.Done,
+	}
+}
+
+// stateOf parses the wire state slug.
+func stateOf(s string) runtime.State {
+	switch s {
+	case "queued":
+		return runtime.Queued
+	case "running":
+		return runtime.Running
+	default:
+		return runtime.Exited
+	}
+}
+
+// Capacity implements runtime.Runtime (snapshotted at handshake).
+func (r *RemoteRuntime) Capacity() float64 { return r.capacity }
+
+// MemoryCapacity implements runtime.Runtime via a live ping (0 on
+// transport error — the degraded monitoring answer).
+func (r *RemoteRuntime) MemoryCapacity() float64 {
+	pong, err := r.c.Ping(r.ctx)
+	if err != nil {
+		return 0
+	}
+	return pong.MemoryCapacity
+}
+
+// MemoryUsed implements runtime.Runtime via a live ping.
+func (r *RemoteRuntime) MemoryUsed() float64 {
+	pong, err := r.c.Ping(r.ctx)
+	if err != nil {
+		return 0
+	}
+	return pong.MemoryUsed
+}
+
+// RunningCount implements runtime.Runtime via a live ping.
+func (r *RemoteRuntime) RunningCount() int {
+	pong, err := r.c.Ping(r.ctx)
+	if err != nil {
+		return 0
+	}
+	return pong.Running
+}
+
+// Launch implements runtime.Runtime through the managed jobs surface.
+// The remote backend hosts the workload itself, so spec.Model is
+// required and spec.Workload is ignored; a queue-full or draining worker
+// surfaces as runtime.ErrQueueFull / runtime.ErrDraining.
+func (r *RemoteRuntime) Launch(spec runtime.LaunchSpec) (runtime.Container, error) {
+	if spec.Model == "" {
+		return runtime.Container{}, fmt.Errorf("agent: remote launch of %q needs a catalog model key", spec.Name)
+	}
+	st, err := r.c.Submit(r.ctx, SubmitRequest{
+		Name:     spec.Name,
+		Model:    spec.Model,
+		CPULimit: spec.CPULimit,
+	})
+	if err != nil {
+		return runtime.Container{}, err
+	}
+	v := viewOfJob(st)
+	if v.State == runtime.Running {
+		r.observeStart(v)
+	}
+	return v, nil
+}
+
+// Stop implements runtime.Runtime.
+func (r *RemoteRuntime) Stop(id string) error { return r.c.Stop(r.ctx, id) }
+
+// Remove implements runtime.Runtime.
+func (r *RemoteRuntime) Remove(id string) error { return r.c.Remove(r.ctx, id) }
+
+// SetCPULimit implements runtime.Runtime.
+func (r *RemoteRuntime) SetCPULimit(id string, limit float64) error {
+	return r.c.SetCPULimit(id, limit)
+}
+
+// Lookup implements runtime.Runtime by job name.
+func (r *RemoteRuntime) Lookup(name string) (runtime.Container, error) {
+	st, err := r.c.JobStatus(r.ctx, name)
+	if err != nil {
+		return runtime.Container{}, err
+	}
+	return viewOfJob(st), nil
+}
+
+// PS implements runtime.Runtime. A transport error yields an empty pool.
+func (r *RemoteRuntime) PS(all bool) []runtime.Container {
+	infos, err := r.c.Containers(r.ctx)
+	if err != nil {
+		return nil
+	}
+	out := make([]runtime.Container, 0, len(infos))
+	for _, ci := range infos {
+		v := viewOfInfo(ci)
+		if !all && v.State != runtime.Running {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// RunningStats implements runtime.Runtime (and realtime.Runtime) over
+// /v1/stats.
+func (r *RemoteRuntime) RunningStats() []flowcon.Stat { return r.c.RunningStats() }
+
+// Checkpoint implements runtime.Runtime: unsupported — the live workload
+// cannot be serialized over this wire protocol.
+func (r *RemoteRuntime) Checkpoint(id string) (*runtime.Checkpoint, error) {
+	return nil, fmt.Errorf("agent: checkpoint %s: %w", id, runtime.ErrUnsupported)
+}
+
+// Restore implements runtime.Runtime: unsupported.
+func (r *RemoteRuntime) Restore(cp *runtime.Checkpoint) (runtime.Container, error) {
+	name := "<nil>"
+	if cp != nil {
+		name = cp.Name
+	}
+	return runtime.Container{}, fmt.Errorf("agent: restore %s: %w", name, runtime.ErrUnsupported)
+}
+
+// OnStart implements runtime.Runtime. Poll drives delivery.
+func (r *RemoteRuntime) OnStart(fn func(runtime.Container)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.startSubs = append(r.startSubs, fn)
+}
+
+// OnExit implements runtime.Runtime. Poll drives delivery.
+func (r *RemoteRuntime) OnExit(fn func(runtime.Container)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.exitSubs = append(r.exitSubs, fn)
+}
+
+// observeStart records a container as running and fires start hooks.
+func (r *RemoteRuntime) observeStart(v runtime.Container) {
+	r.mu.Lock()
+	if _, seen := r.known[v.ID]; seen {
+		r.mu.Unlock()
+		return
+	}
+	r.known[v.ID] = v
+	subs := append([]func(runtime.Container){}, r.startSubs...)
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(v)
+	}
+}
+
+// Poll diffs the remote pool against the last observation and fires
+// start hooks for newly running containers and exit hooks for containers
+// that left the running set, in wire order. Returns the polled snapshot
+// (all states), or an error when the worker is unreachable (no hooks
+// fire — the next successful Poll catches up).
+func (r *RemoteRuntime) Poll() ([]runtime.Container, error) {
+	infos, err := r.c.Containers(r.ctx)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := make([]runtime.Container, len(infos))
+	current := make(map[string]runtime.Container, len(infos))
+	for i, ci := range infos {
+		v := viewOfInfo(ci)
+		snapshot[i] = v
+		current[v.ID] = v
+	}
+	r.mu.Lock()
+	var started, exited []runtime.Container
+	for _, v := range snapshot {
+		_, seen := r.known[v.ID]
+		switch {
+		case v.State == runtime.Running && !seen:
+			r.known[v.ID] = v
+			started = append(started, v)
+		case v.State != runtime.Running && seen:
+			delete(r.known, v.ID)
+			exited = append(exited, v)
+		}
+	}
+	// Containers that vanished entirely (removed after exit) also count
+	// as exits; report the last view we had of them.
+	for id, last := range r.known {
+		if _, still := current[id]; !still {
+			delete(r.known, id)
+			last.State = runtime.Exited
+			exited = append(exited, last)
+		}
+	}
+	startSubs := append([]func(runtime.Container){}, r.startSubs...)
+	exitSubs := append([]func(runtime.Container){}, r.exitSubs...)
+	r.mu.Unlock()
+	for _, v := range started {
+		for _, fn := range startSubs {
+			fn(v)
+		}
+	}
+	for _, v := range exited {
+		for _, fn := range exitSubs {
+			fn(v)
+		}
+	}
+	return snapshot, nil
+}

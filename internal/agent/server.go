@@ -1,17 +1,33 @@
 // Package agent provides the network split of Figure 2: a worker-side
 // HTTP agent exposing a live container runtime, and a manager-side client
-// that implements realtime.Runtime over the wire — so a FlowCon driver on
-// the manager machine can govern containers on a remote worker, the way
-// Docker Swarm managers talk to worker daemons.
+// that implements realtime.Runtime — and, through Client.Runtime, the
+// full runtime.Runtime lifecycle contract — over the wire. A FlowCon
+// driver on the manager machine can govern containers on a remote worker
+// the way Docker Swarm managers talk to worker daemons.
 //
-// The wire protocol is deliberately small and JSON over HTTP/1.1:
+// The wire protocol is deliberately small and JSON over HTTP/1.1,
+// versioned under /v1. Every error response carries the JSON envelope
+// {"error": ..., "code": ...}; the code is a stable machine-readable
+// slug the client maps back to the runtime package's sentinel errors.
 //
-//	GET  /v1/ping                      liveness + capacity
-//	GET  /v1/stats                     settled counters of running containers
-//	GET  /v1/containers                snapshot of all containers
-//	POST /v1/containers                launch a catalog model {name, model}
-//	POST /v1/containers/{id}/update    set soft CPU limit {cpu_limit}
-//	POST /v1/containers/{id}/stop      stop a running container
+//	GET    /v1/ping                      liveness + capacity/memory + admission state
+//	GET    /v1/stats                     settled counters of running containers
+//	GET    /v1/containers                snapshot of all containers
+//	POST   /v1/containers                launch a catalog model {name, model, cpu_limit}
+//	DELETE /v1/containers/{id}           remove an exited container
+//	POST   /v1/containers/{id}/update    set soft CPU limit {cpu_limit}
+//	POST   /v1/containers/{id}/stop      stop a running container
+//	POST   /v1/jobs                      submit a job {name, model, cpu_limit}:
+//	                                     201 running, 202 queued, 429 queue full,
+//	                                     503 draining
+//	GET    /v1/jobs/{name}               job status (queued/running/exited/failed)
+//	POST   /v1/jobs/{name}/cancel        cancel: dequeue a queued job or stop a
+//	                                     running one
+//	POST   /v1/jobs/{name}/stop          stop the job's running container
+//
+// The containers routes are the raw runtime surface (id-addressed, no
+// admission control); the jobs routes are the managed surface the
+// flowcon-manager drives, with name addressing and 429 backpressure.
 package agent
 
 import (
@@ -19,9 +35,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"repro/internal/dlmodel"
 	"repro/internal/livedock"
+	"repro/internal/runtime"
+)
+
+// Stable error codes carried in the envelope's "code" field. The client
+// maps them back to the runtime package's sentinels, so errors.Is works
+// across the wire.
+const (
+	CodeNotFound   = "not_found"
+	CodeNotRunning = "not_running"
+	CodeNameInUse  = "name_in_use"
+	CodeBadLimit   = "bad_limit"
+	CodeQueueFull  = "queue_full"
+	CodeDraining   = "draining"
+	CodeBadRequest = "bad_request"
+	CodeInternal   = "internal"
 )
 
 // LaunchRequest asks the agent to start a catalog model in a container.
@@ -30,6 +62,9 @@ type LaunchRequest struct {
 	Name string `json:"name"`
 	// Model is a catalog key, e.g. "MNIST (Tensorflow)".
 	Model string `json:"model"`
+	// CPULimit is the initial soft limit in (0,1]; 0 means the backend
+	// default (1.0).
+	CPULimit float64 `json:"cpu_limit,omitempty"`
 }
 
 // LaunchResponse returns the new container's id.
@@ -44,24 +79,72 @@ type UpdateRequest struct {
 
 // ContainerInfo is the wire form of a container snapshot.
 type ContainerInfo struct {
-	ID         string  `json:"id"`
-	Name       string  `json:"name"`
-	State      string  `json:"state"`
-	CPULimit   float64 `json:"cpu_limit"`
-	CPUAlloc   float64 `json:"cpu_alloc"`
-	CPUSeconds float64 `json:"cpu_seconds"`
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Model       string  `json:"model,omitempty"`
+	State       string  `json:"state"`
+	CPULimit    float64 `json:"cpu_limit"`
+	CPUAlloc    float64 `json:"cpu_alloc"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	MemoryBytes float64 `json:"memory_bytes,omitempty"`
+	StartedAt   float64 `json:"started_at"`
+	FinishedAt  float64 `json:"finished_at,omitempty"`
+	Done        bool    `json:"done"`
 }
 
-// PingResponse reports agent liveness.
+// PingResponse reports agent liveness and node aggregates.
 type PingResponse struct {
 	OK       bool    `json:"ok"`
 	Capacity float64 `json:"capacity"`
 	Running  int     `json:"running"`
+	// MemoryCapacity/MemoryUsed mirror the runtime aggregates (0 when
+	// memory is unmodelled).
+	MemoryCapacity float64 `json:"memory_capacity,omitempty"`
+	MemoryUsed     float64 `json:"memory_used,omitempty"`
+	// Queued is the admission-queue depth; Draining reports whether the
+	// agent has stopped accepting submissions (shutdown in progress).
+	Queued   int  `json:"queued"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// SubmitRequest asks the managed jobs surface to run a catalog model.
+type SubmitRequest struct {
+	Name     string  `json:"name"`
+	Model    string  `json:"model"`
+	CPULimit float64 `json:"cpu_limit,omitempty"`
+}
+
+// JobStatus is the wire form of one managed job.
+type JobStatus struct {
+	Name string `json:"name"`
+	// ID is the container id once the job is running ("" while queued).
+	ID    string `json:"id,omitempty"`
+	Model string `json:"model,omitempty"`
+	// State is "queued", "running", "exited", or "failed" (a queued job
+	// whose deferred launch failed).
+	State       string  `json:"state"`
+	CPULimit    float64 `json:"cpu_limit,omitempty"`
+	CPUAlloc    float64 `json:"cpu_alloc,omitempty"`
+	CPUSeconds  float64 `json:"cpu_seconds,omitempty"`
+	MemoryBytes float64 `json:"memory_bytes,omitempty"`
+	StartedAt   float64 `json:"started_at,omitempty"`
+	FinishedAt  float64 `json:"finished_at,omitempty"`
+	Done        bool    `json:"done"`
+	// Error carries the launch failure for state "failed".
+	Error string `json:"error,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// queuedJob is one admission-queue entry.
+type queuedJob struct {
+	name  string
+	model string
+	limit float64
 }
 
 // Server exposes a livedock node over HTTP. Create with NewServer and
@@ -70,31 +153,95 @@ type Server struct {
 	node     *livedock.Node
 	capacity float64
 	mux      *http.ServeMux
+
+	mu sync.Mutex
+	// maxRunning caps concurrently running jobs admitted through /v1/jobs
+	// (0 = unlimited, every submission launches immediately).
+	maxRunning int
+	// queueDepth bounds the admission queue; a submission past it gets
+	// 429 and the client backs off.
+	queueDepth int
+	queue      []queuedJob
+	// failed records queued jobs whose deferred launch failed, so a
+	// status poll explains what happened instead of 404ing.
+	failed map[string]string
+	// draining rejects new submissions with 503 while shutdown stops the
+	// running containers.
+	draining bool
 }
 
 // NewServer wraps the node (of the given capacity, echoed in /v1/ping).
+// Admission is unlimited until SetAdmissionLimits.
 func NewServer(node *livedock.Node, capacity float64) *Server {
 	if node == nil {
 		panic("agent: nil node")
 	}
-	s := &Server{node: node, capacity: capacity, mux: http.NewServeMux()}
+	s := &Server{
+		node:     node,
+		capacity: capacity,
+		mux:      http.NewServeMux(),
+		failed:   make(map[string]string),
+	}
 	s.mux.HandleFunc("GET /v1/ping", s.handlePing)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/containers", s.handleList)
 	s.mux.HandleFunc("POST /v1/containers", s.handleLaunch)
+	s.mux.HandleFunc("DELETE /v1/containers/{id}", s.handleRemove)
 	s.mux.HandleFunc("POST /v1/containers/{id}/update", s.handleUpdate)
 	s.mux.HandleFunc("POST /v1/containers/{id}/stop", s.handleStop)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{name}", s.handleJobStatus)
+	s.mux.HandleFunc("POST /v1/jobs/{name}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{name}/stop", s.handleJobStop)
+	// Exits free capacity: admit queued jobs the moment a slot opens.
+	node.OnExit(func(runtime.Container) { s.admitQueued() })
 	return s
+}
+
+// SetAdmissionLimits bounds the managed jobs surface: at most maxRunning
+// jobs run concurrently (0 = unlimited) and at most queueDepth
+// submissions wait for a slot (beyond it, 429). Call before serving.
+func (s *Server) SetAdmissionLimits(maxRunning, queueDepth int) {
+	if maxRunning < 0 || queueDepth < 0 {
+		panic("agent: negative admission limit")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxRunning = maxRunning
+	s.queueDepth = queueDepth
+}
+
+// Drain stops accepting job submissions (503 with code "draining");
+// everything already queued or running proceeds. The graceful-shutdown
+// sequence is Drain, stop the containers, exit.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+}
+
+// Draining reports whether the agent has stopped accepting submissions.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Handler returns the agent's http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) handlePing(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	queued, draining := len(s.queue), s.draining
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, PingResponse{
-		OK:       true,
-		Capacity: s.capacity,
-		Running:  s.node.RunningCount(),
+		OK:             true,
+		Capacity:       s.capacity,
+		Running:        s.node.RunningCount(),
+		MemoryCapacity: s.node.MemoryCapacity(),
+		MemoryUsed:     s.node.MemoryUsed(),
+		Queued:         queued,
+		Draining:       draining,
 	})
 }
 
@@ -102,77 +249,260 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.node.RunningStats())
 }
 
+// infoOf converts a runtime view to its wire form.
+func infoOf(c runtime.Container) ContainerInfo {
+	return ContainerInfo{
+		ID:          c.ID,
+		Name:        c.Name,
+		Model:       c.Model,
+		State:       c.State.String(),
+		CPULimit:    c.CPULimit,
+		CPUAlloc:    c.CPUAlloc,
+		CPUSeconds:  c.CPUSeconds,
+		MemoryBytes: c.MemoryBytes,
+		StartedAt:   c.StartedAt,
+		FinishedAt:  c.FinishedAt,
+		Done:        c.Done,
+	}
+}
+
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	snap := s.node.Snapshot()
-	out := make([]ContainerInfo, len(snap))
-	for i, c := range snap {
-		out[i] = ContainerInfo{
-			ID:         c.ID,
-			Name:       c.Name,
-			State:      c.State.String(),
-			CPULimit:   c.Limit,
-			CPUAlloc:   c.Alloc,
-			CPUSeconds: c.CPUSec,
-		}
+	views := s.node.PS(true)
+	out := make([]ContainerInfo, len(views))
+	for i, c := range views {
+		out[i] = infoOf(c)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// launchModel validates a catalog launch and runs it on the node.
+func (s *Server) launchModel(name, model string, limit float64) (runtime.Container, error) {
+	profile, ok := dlmodel.Find(model)
+	if !ok {
+		return runtime.Container{}, fmt.Errorf("unknown model %q", model)
+	}
+	job := dlmodel.NewJob(name, profile)
+	return s.node.Launch(runtime.LaunchSpec{
+		Name:     name,
+		Model:    model,
+		Workload: job,
+		CPULimit: limit,
+	})
 }
 
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	var req LaunchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.Name == "" || req.Model == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("name and model are required"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("name and model are required"))
 		return
 	}
-	profile, ok := dlmodel.Find(req.Model)
-	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown model %q", req.Model))
+	if _, ok := dlmodel.Find(req.Model); !ok {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
-	job := dlmodel.NewJob(req.Name, profile)
-	id, err := s.node.Run(req.Name, job)
+	v, err := s.launchModel(req.Name, req.Model, req.CPULimit)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeRuntimeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, LaunchResponse{ID: id})
+	writeJSON(w, http.StatusCreated, LaunchResponse{ID: v.ID})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if err := s.node.Remove(r.PathValue("id")); err != nil {
+		writeRuntimeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	err := s.node.SetCPULimit(r.PathValue("id"), req.CPULimit)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, struct{}{})
-	case errors.Is(err, livedock.ErrNotFound):
-		writeErr(w, http.StatusNotFound, err)
-	case errors.Is(err, livedock.ErrBadLimit), errors.Is(err, livedock.ErrNotRunning):
-		writeErr(w, http.StatusConflict, err)
-	default:
-		writeErr(w, http.StatusInternalServerError, err)
+	if err := s.node.SetCPULimit(r.PathValue("id"), req.CPULimit); err != nil {
+		writeRuntimeErr(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, struct{}{})
 }
 
 func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
-	err := s.node.Stop(r.PathValue("id"))
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusOK, struct{}{})
-	case errors.Is(err, livedock.ErrNotFound):
-		writeErr(w, http.StatusNotFound, err)
-	case errors.Is(err, livedock.ErrNotRunning):
-		writeErr(w, http.StatusConflict, err)
-	default:
-		writeErr(w, http.StatusInternalServerError, err)
+	if err := s.node.Stop(r.PathValue("id")); err != nil {
+		writeRuntimeErr(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleSubmit is the managed admission path: launch if a slot is free,
+// queue if the queue has room, 429 otherwise, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Name == "" || req.Model == "" {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("name and model are required"))
+		return
+	}
+	if _, ok := dlmodel.Find(req.Model); !ok {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown model %q", req.Model))
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, CodeDraining,
+			fmt.Errorf("agent is draining: %w", runtime.ErrDraining))
+		return
+	}
+	for _, q := range s.queue {
+		if q.name == req.Name {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, CodeNameInUse,
+				fmt.Errorf("job %q is already queued: %w", req.Name, runtime.ErrNameInUse))
+			return
+		}
+	}
+	delete(s.failed, req.Name)
+	if s.maxRunning > 0 && s.node.RunningCount() >= s.maxRunning {
+		if len(s.queue) >= s.queueDepth {
+			s.mu.Unlock()
+			writeErr(w, http.StatusTooManyRequests, CodeQueueFull,
+				fmt.Errorf("%d jobs already queued: %w", s.queueDepth, runtime.ErrQueueFull))
+			return
+		}
+		s.queue = append(s.queue, queuedJob{name: req.Name, model: req.Model, limit: req.CPULimit})
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, JobStatus{Name: req.Name, Model: req.Model, State: "queued"})
+		return
+	}
+	s.mu.Unlock()
+	v, err := s.launchModel(req.Name, req.Model, req.CPULimit)
+	if err != nil {
+		writeRuntimeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, jobStatusOf(req.Name, req.Model, v))
+}
+
+// admitQueued launches queued jobs while slots are free. Launches happen
+// outside the server lock: a launch can settle the node and retire more
+// containers, whose exit hooks re-enter admitQueued.
+func (s *Server) admitQueued() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 ||
+			(s.maxRunning > 0 && s.node.RunningCount() >= s.maxRunning) {
+			s.mu.Unlock()
+			return
+		}
+		next := s.queue[0]
+		s.queue = append([]queuedJob{}, s.queue[1:]...)
+		s.mu.Unlock()
+		if _, err := s.launchModel(next.name, next.model, next.limit); err != nil {
+			s.mu.Lock()
+			s.failed[next.name] = err.Error()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// jobStatusOf converts a running/exited container view to job status.
+func jobStatusOf(name, model string, c runtime.Container) JobStatus {
+	return JobStatus{
+		Name:        name,
+		ID:          c.ID,
+		Model:       model,
+		State:       c.State.String(),
+		CPULimit:    c.CPULimit,
+		CPUAlloc:    c.CPUAlloc,
+		CPUSeconds:  c.CPUSeconds,
+		MemoryBytes: c.MemoryBytes,
+		StartedAt:   c.StartedAt,
+		FinishedAt:  c.FinishedAt,
+		Done:        c.Done,
+	}
+}
+
+// jobByName resolves a job across the queue, the failure log, and the
+// node pool.
+func (s *Server) jobByName(name string) (JobStatus, bool) {
+	s.mu.Lock()
+	for _, q := range s.queue {
+		if q.name == name {
+			s.mu.Unlock()
+			return JobStatus{Name: name, Model: q.model, State: "queued"}, true
+		}
+	}
+	if msg, ok := s.failed[name]; ok {
+		s.mu.Unlock()
+		return JobStatus{Name: name, State: "failed", Error: msg}, true
+	}
+	s.mu.Unlock()
+	c, err := s.node.Lookup(name)
+	if err != nil {
+		return JobStatus{}, false
+	}
+	return jobStatusOf(name, c.Model, c), true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.jobByName(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeNotFound,
+			fmt.Errorf("job %q: %w", name, runtime.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobCancel dequeues a queued job or stops its running container.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	for i, q := range s.queue {
+		if q.name == name {
+			s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, JobStatus{Name: name, Model: q.model, State: "exited"})
+			return
+		}
+	}
+	s.mu.Unlock()
+	s.stopJob(w, name)
+}
+
+func (s *Server) handleJobStop(w http.ResponseWriter, r *http.Request) {
+	s.stopJob(w, r.PathValue("name"))
+}
+
+// stopJob stops the named job's running container.
+func (s *Server) stopJob(w http.ResponseWriter, name string) {
+	c, err := s.node.Lookup(name)
+	if err != nil {
+		writeRuntimeErr(w, err)
+		return
+	}
+	if err := s.node.Stop(c.ID); err != nil {
+		writeRuntimeErr(w, err)
+		return
+	}
+	c, err = s.node.Lookup(name)
+	if err != nil {
+		writeRuntimeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatusOf(name, c.Model, c))
 }
 
 // writeJSON writes a JSON response with status code.
@@ -182,7 +512,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeRuntimeErr maps a runtime-layer error to its HTTP status and code.
+func writeRuntimeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, runtime.ErrNotFound):
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
+	case errors.Is(err, runtime.ErrNotRunning):
+		writeErr(w, http.StatusConflict, CodeNotRunning, err)
+	case errors.Is(err, runtime.ErrNameInUse):
+		writeErr(w, http.StatusConflict, CodeNameInUse, err)
+	case errors.Is(err, runtime.ErrBadLimit):
+		writeErr(w, http.StatusConflict, CodeBadLimit, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+	}
+}
+
 // writeErr writes the JSON error envelope.
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,7 +51,7 @@ func TestMalformedJSONBodies(t *testing.T) {
 	url, hc, _ := rawAgent(t)
 	launch := func(id string) string {
 		c := NewClient(url, hc)
-		cid, err := c.Launch("seed-"+id, "RNN-GRU (Tensorflow)")
+		cid, err := c.Launch(context.Background(), "seed-"+id, "RNN-GRU (Tensorflow)")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 func TestConcurrentUpdatesSameContainer(t *testing.T) {
 	url, hc, clk := rawAgent(t)
 	c := NewClient(url, hc)
-	id, err := c.Launch("racy", "MNIST (Tensorflow)")
+	id, err := c.Launch(context.Background(), "racy", "MNIST (Tensorflow)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestConcurrentUpdatesSameContainer(t *testing.T) {
 	}
 	wg.Wait()
 	clk.Advance(time.Second)
-	list, err := c.Containers()
+	list, err := c.Containers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			c := NewClient(url, hc)
-			id, err := c.Launch(fmt.Sprintf("job-%d", i), "RNN-GRU (Tensorflow)")
+			id, err := c.Launch(context.Background(), fmt.Sprintf("job-%d", i), "RNN-GRU (Tensorflow)")
 			if err != nil {
 				t.Errorf("launch %d: %v", i, err)
 				return
@@ -202,7 +203,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 			if err := c.SetCPULimit(id, 0.25); err != nil {
 				t.Errorf("update %d: %v", i, err)
 			}
-			if _, err := c.Ping(); err != nil {
+			if _, err := c.Ping(context.Background()); err != nil {
 				t.Errorf("ping %d: %v", i, err)
 			}
 			c.RunningStats()
@@ -211,7 +212,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	wg.Wait()
 	clk.Advance(time.Second)
 	c := NewClient(url, hc)
-	list, err := c.Containers()
+	list, err := c.Containers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,13 +235,13 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 		stopWG.Add(1)
 		go func(id string) {
 			defer stopWG.Done()
-			if err := c.Stop(id); err != nil {
+			if err := c.Stop(context.Background(), id); err != nil {
 				t.Errorf("stop %s: %v", id, err)
 			}
 		}(id)
 	}
 	stopWG.Wait()
-	if pong, err := c.Ping(); err != nil || pong.Running != 0 {
+	if pong, err := c.Ping(context.Background()); err != nil || pong.Running != 0 {
 		t.Fatalf("after stops: pong=%+v err=%v", pong, err)
 	}
 }

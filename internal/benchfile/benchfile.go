@@ -76,6 +76,28 @@ type ScenarioResult struct {
 	SketchErrP99 float64 `json:"sketch_err_p99,omitempty"`
 }
 
+// LoadtestResult is one /v1 API load-test data point: concurrent
+// submitters driving a live flowcon-worker over loopback HTTP
+// (cmd/loadtest, CI's loadtest-smoke job). Latencies are wall-clock
+// milliseconds per submit round trip. The field is additive and
+// omitempty, so the document schema stays at 2 and entries recorded
+// before the load test remain valid.
+type LoadtestResult struct {
+	// Submitters is the number of concurrent submitter goroutines.
+	Submitters int `json:"submitters"`
+	// Jobs is the total number of submissions issued.
+	Jobs int `json:"jobs"`
+	// Errors counts failed submissions (0 is the smoke gate).
+	Errors int `json:"errors"`
+	// P50/P95/P99/Max are submit-latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// WallSec is the wall-clock duration of the whole run.
+	WallSec float64 `json:"wall_sec"`
+}
+
 // Entry is one per-commit data point of the trajectory.
 type Entry struct {
 	// Commit is the abbreviated git revision the entry was recorded at
@@ -90,6 +112,9 @@ type Entry struct {
 	BenchTime   string           `json:"benchtime"`
 	Benchmarks  []Benchmark      `json:"benchmarks"`
 	Scenarios   []ScenarioResult `json:"scenarios"`
+	// Loadtest is the /v1 submit-latency data point recorded by
+	// cmd/loadtest against this commit, when one was taken.
+	Loadtest *LoadtestResult `json:"loadtest,omitempty"`
 }
 
 // Report is the BENCH_sim.json history document.

@@ -1,6 +1,7 @@
 // Package cluster provides the manager/worker topology of Figure 2: a
 // Manager accepts job submissions and places containers onto Workers; each
-// Worker hosts a container pool (a simulated Docker daemon) plus whatever
+// Worker hosts a container pool behind the pluggable runtime.Runtime
+// interface (the simulated Docker daemon in experiments) plus whatever
 // resource-management policy is installed on it.
 //
 // As in the paper, all of FlowCon's machinery lives on the worker side —
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/dlmodel"
 	"repro/internal/flowcon"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/simdocker"
 )
@@ -45,19 +47,16 @@ func ImageFor(fw dlmodel.Framework) (string, error) {
 // paper's R320 testbed node (16 GB).
 const DefaultMemoryBytes = 16 << 30
 
-// Worker is one node in the cluster: a simulated Docker daemon plus
-// arrival/exit fan-out. It implements flowcon.Runtime so a FlowCon
-// controller (or any baseline policy) can drive it directly.
+// Worker is one node in the cluster: a container runtime plus
+// arrival/exit fan-out and admission state (failure, cordon, container
+// cap). It implements flowcon.Runtime so a FlowCon controller (or any
+// baseline policy) can drive it directly, and runtime.Runtime by
+// delegation so cluster-level policies treat a worker exactly like the
+// backend it wraps.
 type Worker struct {
 	name   string
 	engine sim.Scheduler
-	daemon *simdocker.Daemon
-
-	// dstatScratch and statScratch are reused across RunningStats calls so
-	// the per-tick policy hot path allocates nothing in steady state. The
-	// returned slice is valid until the next call.
-	dstatScratch []simdocker.Stats
-	statScratch  []flowcon.Stat
+	rt     runtime.Runtime
 
 	// maxContainers caps concurrent containers for admission control
 	// (0 = unlimited).
@@ -73,31 +72,39 @@ type Worker struct {
 	failSubs  []func()
 }
 
-// NewWorker creates a worker with the given normalized CPU capacity, the
-// testbed's 16 GB of memory, and the framework images pre-pulled. In a
-// sharded simulation the engine is the worker's lane, so everything the
-// worker and its policy schedule stays on its shard.
-func NewWorker(name string, engine sim.Scheduler, capacity float64) *Worker {
-	w := &Worker{
-		name:   name,
-		engine: engine,
-		daemon: simdocker.NewDaemon(engine, capacity),
-	}
-	w.daemon.SetIDPrefix(name)
-	w.daemon.SetMemoryCapacity(DefaultMemoryBytes)
-	w.daemon.Pull(simdocker.Image{Ref: ImagePyTorch, SizeBytes: 750 << 20})
-	w.daemon.Pull(simdocker.Image{Ref: ImageTensorFlow, SizeBytes: 680 << 20})
-	w.daemon.OnStart(func(c *simdocker.Container) {
+var _ runtime.Runtime = (*Worker)(nil)
+
+// NewWorker wraps a container runtime as a cluster worker. In a sharded
+// simulation the engine is the worker's lane, so everything the worker
+// and its policy schedule stays on its shard. Use NewSimWorker for the
+// usual simulated backend.
+func NewWorker(name string, engine sim.Scheduler, rt runtime.Runtime) *Worker {
+	w := &Worker{name: name, engine: engine, rt: rt}
+	rt.OnStart(func(c runtime.Container) {
 		for _, fn := range w.startSubs {
-			fn(c.ID())
+			fn(c.ID)
 		}
 	})
-	w.daemon.OnExit(func(c *simdocker.Container) {
+	rt.OnExit(func(c runtime.Container) {
 		for _, fn := range w.exitSubs {
-			fn(c.ID())
+			fn(c.ID)
 		}
 	})
 	return w
+}
+
+// NewSimWorker creates a worker backed by a fresh simulated Docker daemon
+// with the given normalized CPU capacity, the testbed's 16 GB of memory,
+// and the framework images pre-pulled. The daemon is returned alongside
+// for simulation assembly (contention model, metrics attachment, typed
+// container hooks); policy layers should stay on the Worker surface.
+func NewSimWorker(name string, engine sim.Scheduler, capacity float64) (*Worker, *simdocker.Daemon) {
+	d := simdocker.NewDaemon(engine, capacity)
+	d.SetIDPrefix(name)
+	d.SetMemoryCapacity(DefaultMemoryBytes)
+	d.Pull(simdocker.Image{Ref: ImagePyTorch, SizeBytes: 750 << 20})
+	d.Pull(simdocker.Image{Ref: ImageTensorFlow, SizeBytes: 680 << 20})
+	return NewWorker(name, engine, simdocker.NewRuntime(d)), d
 }
 
 // Name returns the worker's name.
@@ -107,8 +114,8 @@ func (w *Worker) Name() string { return w.name }
 // serial simulation, the worker's lane in a sharded one).
 func (w *Worker) Engine() sim.Scheduler { return w.engine }
 
-// Daemon exposes the underlying container runtime.
-func (w *Worker) Daemon() *simdocker.Daemon { return w.daemon }
+// Runtime exposes the underlying container runtime.
+func (w *Worker) Runtime() runtime.Runtime { return w.rt }
 
 // OnContainerStart subscribes to container-start notifications (the New
 // Cons listener feed).
@@ -122,34 +129,62 @@ func (w *Worker) OnContainerExit(fn func(id string)) {
 	w.exitSubs = append(w.exitSubs, fn)
 }
 
+// OnStart implements runtime.Runtime: full-view start notifications from
+// the backing runtime.
+func (w *Worker) OnStart(fn func(runtime.Container)) { w.rt.OnStart(fn) }
+
+// OnExit implements runtime.Runtime: full-view exit notifications from
+// the backing runtime.
+func (w *Worker) OnExit(fn func(runtime.Container)) { w.rt.OnExit(fn) }
+
 // RunningStats implements flowcon.Runtime: settled per-container counters.
 // The returned slice is scratch reused by the next call — callers (the
 // FlowCon controller, SLAQ, the rebalancer's monitors) consume it within
 // the same event and must not retain it.
-func (w *Worker) RunningStats() []flowcon.Stat {
-	w.dstatScratch = w.daemon.AppendRunningStats(w.dstatScratch[:0])
-	out := w.statScratch[:0]
-	for _, s := range w.dstatScratch {
-		out = append(out, flowcon.Stat{
-			ID:          s.ID,
-			Eval:        s.Eval,
-			CPUSeconds:  s.CPUSeconds,
-			BlkIOBytes:  s.BlkIOBytes,
-			NetIOBytes:  s.NetIOBytes,
-			MemoryBytes: s.MemoryBytes,
-		})
-	}
-	w.statScratch = out
-	return out
-}
+func (w *Worker) RunningStats() []flowcon.Stat { return w.rt.RunningStats() }
 
 // SetCPULimit implements flowcon.Runtime via docker update.
 func (w *Worker) SetCPULimit(id string, limit float64) error {
-	return w.daemon.Update(id, limit)
+	return w.rt.SetCPULimit(id, limit)
 }
 
+// Capacity implements runtime.Runtime.
+func (w *Worker) Capacity() float64 { return w.rt.Capacity() }
+
+// MemoryCapacity implements runtime.Runtime.
+func (w *Worker) MemoryCapacity() float64 { return w.rt.MemoryCapacity() }
+
+// MemoryUsed implements runtime.Runtime.
+func (w *Worker) MemoryUsed() float64 { return w.rt.MemoryUsed() }
+
 // RunningCount returns the number of running containers on the worker.
-func (w *Worker) RunningCount() int { return w.daemon.RunningCount() }
+func (w *Worker) RunningCount() int { return w.rt.RunningCount() }
+
+// Launch implements runtime.Runtime by delegation. Most callers want
+// LaunchJob, which derives the image from the job's framework.
+func (w *Worker) Launch(spec runtime.LaunchSpec) (runtime.Container, error) {
+	return w.rt.Launch(spec)
+}
+
+// Stop implements runtime.Runtime.
+func (w *Worker) Stop(id string) error { return w.rt.Stop(id) }
+
+// Remove implements runtime.Runtime.
+func (w *Worker) Remove(id string) error { return w.rt.Remove(id) }
+
+// Lookup implements runtime.Runtime.
+func (w *Worker) Lookup(name string) (runtime.Container, error) {
+	return w.rt.Lookup(name)
+}
+
+// PS implements runtime.Runtime.
+func (w *Worker) PS(all bool) []runtime.Container { return w.rt.PS(all) }
+
+// Checkpoint implements runtime.Runtime (the freezing half of a live
+// migration).
+func (w *Worker) Checkpoint(id string) (*runtime.Checkpoint, error) {
+	return w.rt.Checkpoint(id)
+}
 
 // SetMaxContainers caps the number of concurrently running containers the
 // worker admits (0 = unlimited).
@@ -176,9 +211,9 @@ func (w *Worker) Fail() {
 		return
 	}
 	w.failed = true
-	for _, c := range w.daemon.PS(false) {
+	for _, c := range w.rt.PS(false) {
 		// Stop cannot fail for a container PS(false) just returned.
-		_ = w.daemon.Stop(c.ID())
+		_ = w.rt.Stop(c.ID)
 	}
 	for _, fn := range w.failSubs {
 		fn()
@@ -191,10 +226,10 @@ func (w *Worker) Fail() {
 // repaired node.
 func (w *Worker) Repair() {
 	w.failed = false
-	for _, c := range w.daemon.PS(true) {
-		if c.State() == simdocker.Exited {
+	for _, c := range w.rt.PS(true) {
+		if c.State == runtime.Exited {
 			// Remove cannot fail for an exited container PS just returned.
-			_ = w.daemon.Remove(c.ID())
+			_ = w.rt.Remove(c.ID)
 		}
 	}
 }
@@ -219,8 +254,8 @@ func (w *Worker) CanHost(p dlmodel.Profile) bool {
 	if w.maxContainers > 0 && w.RunningCount() >= w.maxContainers {
 		return false
 	}
-	if cap := w.daemon.MemoryCapacity(); cap > 0 {
-		if w.daemon.MemoryUsed()+p.MemoryBytes > cap {
+	if cap := w.rt.MemoryCapacity(); cap > 0 {
+		if w.rt.MemoryUsed()+p.MemoryBytes > cap {
 			return false
 		}
 	}
@@ -229,27 +264,29 @@ func (w *Worker) CanHost(p dlmodel.Profile) bool {
 
 // MemoryFree returns the unreserved node memory in bytes.
 func (w *Worker) MemoryFree() float64 {
-	return w.daemon.MemoryCapacity() - w.daemon.MemoryUsed()
+	return w.rt.MemoryCapacity() - w.rt.MemoryUsed()
 }
 
-// Launch runs a DL job in a new container on this worker and returns the
-// container. Name is the experiment-level job label (e.g. "Job-3").
-func (w *Worker) Launch(name string, job *dlmodel.Job) (*simdocker.Container, error) {
+// LaunchJob runs a DL job in a new container on this worker and returns
+// its view. Name is the experiment-level job label (e.g. "Job-3"); the
+// image is derived from the job's framework.
+func (w *Worker) LaunchJob(name string, job *dlmodel.Job) (runtime.Container, error) {
 	img, err := ImageFor(job.Profile().Framework)
 	if err != nil {
-		return nil, err
+		return runtime.Container{}, err
 	}
-	return w.daemon.Run(simdocker.RunSpec{
+	return w.rt.Launch(runtime.LaunchSpec{
 		Image:    img,
 		Name:     name,
+		Model:    job.Profile().Key(),
 		Workload: job,
 	})
 }
 
 // Restore thaws a migration checkpoint into a running container on this
 // worker (the receiving half of Manager.Migrate).
-func (w *Worker) Restore(cp *simdocker.Checkpoint) (*simdocker.Container, error) {
-	return w.daemon.Restore(cp)
+func (w *Worker) Restore(cp *runtime.Checkpoint) (runtime.Container, error) {
+	return w.rt.Restore(cp)
 }
 
 // Placement selects a worker able to host the given job, or nil to make
@@ -324,14 +361,14 @@ type Manager struct {
 	profiles  map[string]dlmodel.Profile
 	queue     []pendingJob
 	requeued  int
-	onPlace   []func(jobName string, w *Worker, c *simdocker.Container)
-	onMigrate []func(jobName string, w *Worker, c *simdocker.Container)
+	onPlace   []func(jobName string, w *Worker, c runtime.Container)
+	onMigrate []func(jobName string, w *Worker, c runtime.Container)
 
 	// inflight holds checkpoints of jobs mid-migration (frozen off their
 	// source, not yet thawed anywhere). While a job is here its placed
 	// entry is nil, so failure recovery, admission and duplicate checks
 	// all see it as "not on any worker" — which is exactly true.
-	inflight map[string]*simdocker.Checkpoint
+	inflight map[string]*runtime.Checkpoint
 	// migrated counts completed migrations (checkpoints thawed back into
 	// a running or queued job).
 	migrated int
@@ -363,7 +400,7 @@ func NewManager(engine *sim.Engine, workers []*Worker, placement Placement) *Man
 		placement: placement,
 		placed:    make(map[string]*Worker),
 		profiles:  make(map[string]dlmodel.Profile),
-		inflight:  make(map[string]*simdocker.Checkpoint),
+		inflight:  make(map[string]*runtime.Checkpoint),
 	}
 	for _, w := range workers {
 		w := w
@@ -384,7 +421,7 @@ func (m *Manager) Workers() []*Worker { return m.workers }
 
 // OnPlace subscribes to job placements (metrics uses this to bind job
 // labels to container IDs; re-placements after failures fire again).
-func (m *Manager) OnPlace(fn func(jobName string, w *Worker, c *simdocker.Container)) {
+func (m *Manager) OnPlace(fn func(jobName string, w *Worker, c runtime.Container)) {
 	m.onPlace = append(m.onPlace, fn)
 }
 
@@ -393,7 +430,7 @@ func (m *Manager) OnPlace(fn func(jobName string, w *Worker, c *simdocker.Contai
 // can tell a lossless move from a launch or a lossy failure restart
 // (a thaw that found no destination and fell back to the admission
 // queue re-emerges through OnPlace like any queued job).
-func (m *Manager) OnMigrate(fn func(jobName string, w *Worker, c *simdocker.Container)) {
+func (m *Manager) OnMigrate(fn func(jobName string, w *Worker, c runtime.Container)) {
 	m.onMigrate = append(m.onMigrate, fn)
 }
 
@@ -476,7 +513,7 @@ func (m *Manager) EnableCheckpointing(interval float64) {
 // placeOn launches a job on a specific worker and notifies subscribers.
 func (m *Manager) placeOn(w *Worker, job pendingJob) {
 	dljob := dlmodel.NewJobFromCheckpoint(job.name, job.profile, job.resumeWork)
-	c, err := w.Launch(job.name, dljob)
+	c, err := w.LaunchJob(job.name, dljob)
 	if err != nil {
 		panic(fmt.Sprintf("cluster: launch %s: %v", job.name, err))
 	}
@@ -496,16 +533,15 @@ func (m *Manager) handleFailure(failed *Worker) {
 			continue
 		}
 		// Only reschedule jobs whose container did not finish.
-		c, err := failed.Daemon().Lookup(name)
-		if err == nil && c.Workload().Done() {
+		c, err := failed.Lookup(name)
+		if err == nil && c.Done {
 			continue
 		}
 		job := pendingJob{name: name, profile: m.profiles[name]}
 		if m.checkpointInterval > 0 && err == nil {
-			if wr, ok := c.Workload().(interface{ Work() float64 }); ok {
-				// Resume from the last completed snapshot.
-				job.resumeWork = math.Floor(wr.Work()/m.checkpointInterval) * m.checkpointInterval
-			}
+			// Resume from the last completed snapshot (Work is 0 when the
+			// workload does not expose it — a from-scratch restart).
+			job.resumeWork = math.Floor(c.Work/m.checkpointInterval) * m.checkpointInterval
 		}
 		lost = append(lost, job)
 		m.placed[name] = nil

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/dlmodel"
+	"repro/internal/runtime"
 	"repro/internal/sim"
-	"repro/internal/simdocker"
 )
 
 func TestImageFor(t *testing.T) {
@@ -39,10 +39,10 @@ func TestImageFor(t *testing.T) {
 // instead of tearing the simulation down.
 func TestLaunchUnknownFrameworkErrors(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	p := dlmodel.MNISTTensorFlow()
 	p.Framework = dlmodel.Framework("mxnet")
-	if _, err := w.Launch("j", dlmodel.NewJob("j", p)); err == nil {
+	if _, err := w.LaunchJob("j", dlmodel.NewJob("j", p)); err == nil {
 		t.Fatal("launch with unknown framework succeeded")
 	}
 	if w.RunningCount() != 0 {
@@ -52,13 +52,13 @@ func TestLaunchUnknownFrameworkErrors(t *testing.T) {
 
 func TestWorkerLaunchAndLifecycle(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	var started, exited []string
 	w.OnContainerStart(func(id string) { started = append(started, id) })
 	w.OnContainerExit(func(id string) { exited = append(exited, id) })
 
 	job := dlmodel.NewJob("quick", dlmodel.MNISTTensorFlow())
-	c, err := w.Launch("quick", job)
+	c, err := w.LaunchJob("quick", job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,22 +66,26 @@ func TestWorkerLaunchAndLifecycle(t *testing.T) {
 		t.Fatalf("RunningCount = %d", w.RunningCount())
 	}
 	e.RunAll()
-	if len(started) != 1 || started[0] != c.ID() {
+	if len(started) != 1 || started[0] != c.ID {
 		t.Fatalf("started = %v", started)
 	}
-	if len(exited) != 1 || exited[0] != c.ID() {
+	if len(exited) != 1 || exited[0] != c.ID {
 		t.Fatalf("exited = %v", exited)
 	}
-	if math.Abs(float64(c.FinishedAt())-28) > 1e-9 {
-		t.Fatalf("finished at %v, want 28", c.FinishedAt())
+	final, err := w.Lookup("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(final.FinishedAt-28) > 1e-9 {
+		t.Fatalf("finished at %v, want 28", final.FinishedAt)
 	}
 }
 
 func TestWorkerImplementsFlowconRuntime(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	job := dlmodel.NewJob("j", dlmodel.VAEPyTorch())
-	c, err := w.Launch("j", job)
+	c, err := w.LaunchJob("j", job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,27 +95,31 @@ func TestWorkerImplementsFlowconRuntime(t *testing.T) {
 			t.Errorf("RunningStats = %d entries", len(stats))
 			return
 		}
-		if stats[0].ID != c.ID() || stats[0].CPUSeconds <= 0 {
+		if stats[0].ID != c.ID || stats[0].CPUSeconds <= 0 {
 			t.Errorf("bad stat %+v", stats[0])
 		}
-		if err := w.SetCPULimit(c.ID(), 0.5); err != nil {
+		if err := w.SetCPULimit(c.ID, 0.5); err != nil {
 			t.Errorf("SetCPULimit: %v", err)
 		}
 	})
 	e.Run(11)
-	if c.CPULimit() != 0.5 {
-		t.Fatalf("limit = %v, want 0.5", c.CPULimit())
+	final, err := w.Lookup("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.CPULimit != 0.5 {
+		t.Fatalf("limit = %v, want 0.5", final.CPULimit)
 	}
 }
 
 func TestManagerPlacesOnLeastLoaded(t *testing.T) {
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
 	m := NewManager(e, []*Worker{w0, w1}, nil)
 
 	var placements []string
-	m.OnPlace(func(name string, w *Worker, c *simdocker.Container) {
+	m.OnPlace(func(name string, w *Worker, c runtime.Container) {
 		placements = append(placements, name+"@"+w.Name())
 	})
 	m.Submit(0, "a", dlmodel.VAEPyTorch())
@@ -136,7 +144,7 @@ func TestManagerPlacesOnLeastLoaded(t *testing.T) {
 
 func TestManagerDuplicateJobPanics(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	m := NewManager(e, []*Worker{w}, nil)
 	m.Submit(0, "dup", dlmodel.GRU())
 	defer func() {
@@ -158,8 +166,8 @@ func TestManagerNoWorkersPanics(t *testing.T) {
 
 func TestManagerCustomPlacement(t *testing.T) {
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
 	// Always place on w1.
 	m := NewManager(e, []*Worker{w0, w1}, func(ws []*Worker, _ dlmodel.Profile) *Worker { return ws[1] })
 	m.Submit(0, "a", dlmodel.GRU())
@@ -171,8 +179,8 @@ func TestManagerCustomPlacement(t *testing.T) {
 
 func TestWorkerPrePullsImages(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
-	if got := len(w.Daemon().Images()); got != 2 {
+	_, d := NewSimWorker("w0", e, 1.0)
+	if got := len(d.Images()); got != 2 {
 		t.Fatalf("worker has %d images, want 2", got)
 	}
 }

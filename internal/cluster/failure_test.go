@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dlmodel"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/simdocker"
 )
@@ -16,7 +17,7 @@ func smallProfile() dlmodel.Profile {
 
 func TestMaxContainersAdmission(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	w.SetMaxContainers(2)
 	m := NewManager(e, []*Worker{w}, nil)
 
@@ -38,18 +39,18 @@ func TestMaxContainersAdmission(t *testing.T) {
 	if m.WorkerOf("c") != w {
 		t.Fatal("queued job never placed")
 	}
-	for _, c := range w.Daemon().PS(true) {
-		if c.State() != simdocker.Exited {
-			t.Fatalf("container %s not finished", c.Name())
+	for _, c := range w.PS(true) {
+		if c.State != runtime.Exited {
+			t.Fatalf("container %s not finished", c.Name)
 		}
 	}
 }
 
 func TestMemoryAwareAdmission(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, d := NewSimWorker("w0", e, 1.0)
 	// Node fits only one 800MB job.
-	w.Daemon().SetMemoryCapacity(1000 << 20)
+	d.SetMemoryCapacity(1000 << 20)
 	m := NewManager(e, []*Worker{w}, nil)
 	m.Submit(0, "a", smallProfile()) // 800 MB
 	m.Submit(0, "b", smallProfile()) // won't fit concurrently
@@ -66,8 +67,8 @@ func TestMemoryAwareAdmission(t *testing.T) {
 
 func TestBinPackMemoryPlacement(t *testing.T) {
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
 	m := NewManager(e, []*Worker{w0, w1}, BinPackMemory)
 	m.Submit(0, "a", smallProfile())
 	m.Submit(1, "b", smallProfile())
@@ -80,8 +81,8 @@ func TestBinPackMemoryPlacement(t *testing.T) {
 
 func TestWorkerFailureReschedules(t *testing.T) {
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
 	m := NewManager(e, []*Worker{w0, w1}, nil)
 
 	// One long job on each worker (least-loaded spreads them).
@@ -109,8 +110,8 @@ func TestWorkerFailureReschedules(t *testing.T) {
 	}
 	surviving := m.WorkerOf("a")
 	done := 0
-	for _, c := range surviving.Daemon().PS(true) {
-		if c.Workload().Done() {
+	for _, c := range surviving.PS(true) {
+		if c.Done {
 			done++
 		}
 	}
@@ -121,8 +122,8 @@ func TestWorkerFailureReschedules(t *testing.T) {
 
 func TestWorkerFailureDoesNotResubmitFinishedJobs(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
-	spare := NewWorker("w1", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
+	spare, _ := NewSimWorker("w1", e, 1.0)
 	m := NewManager(e, []*Worker{w, spare}, func(ws []*Worker, p dlmodel.Profile) *Worker {
 		if ws[0].CanHost(p) {
 			return ws[0]
@@ -143,7 +144,7 @@ func TestWorkerFailureDoesNotResubmitFinishedJobs(t *testing.T) {
 
 func TestWorkerRepairReadmits(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	m := NewManager(e, []*Worker{w}, nil)
 	w.Fail()
 	m.Submit(0, "a", smallProfile())
@@ -164,7 +165,7 @@ func TestWorkerRepairReadmits(t *testing.T) {
 
 func TestFailureIsIdempotent(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	calls := 0
 	w.OnFail(func() { calls++ })
 	w.Fail()
@@ -209,7 +210,7 @@ func TestMemoryPressureSlowsTraining(t *testing.T) {
 
 func TestCanHostChecks(t *testing.T) {
 	e := sim.NewEngine()
-	w := NewWorker("w0", e, 1.0)
+	w, _ := NewSimWorker("w0", e, 1.0)
 	p := smallProfile()
 	if !w.CanHost(p) {
 		t.Fatal("fresh worker refuses job")
@@ -220,7 +221,7 @@ func TestCanHostChecks(t *testing.T) {
 	}
 	w.Repair()
 	w.SetMaxContainers(1)
-	if _, err := w.Launch("x", dlmodel.NewJob("x", p)); err != nil {
+	if _, err := w.LaunchJob("x", dlmodel.NewJob("x", p)); err != nil {
 		t.Fatal(err)
 	}
 	if w.CanHost(p) {

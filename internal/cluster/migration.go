@@ -3,8 +3,8 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/runtime"
 	"repro/internal/sim"
-	"repro/internal/simdocker"
 )
 
 // MigrationCost models the latency of a live container migration charged
@@ -98,14 +98,14 @@ func (m *Manager) Migrate(spec MigrationSpec) error {
 	if spec.Dst != nil && spec.Dst.Failed() {
 		return fmt.Errorf("cluster: migration destination %s has failed", spec.Dst.Name())
 	}
-	c, err := src.Daemon().Lookup(spec.Job)
+	c, err := src.Lookup(spec.Job)
 	if err != nil {
 		return fmt.Errorf("cluster: migrate %q: %w", spec.Job, err)
 	}
-	if c.State() != simdocker.Running || c.Workload().Done() {
-		return fmt.Errorf("cluster: job %q is not running (state %s)", spec.Job, c.State())
+	if c.State != runtime.Running || c.Done {
+		return fmt.Errorf("cluster: job %q is not running (state %s)", spec.Job, c.State)
 	}
-	cp, err := src.Daemon().Checkpoint(c.ID())
+	cp, err := src.Checkpoint(c.ID)
 	if err != nil {
 		return fmt.Errorf("cluster: migrate %q: %w", spec.Job, err)
 	}
@@ -125,7 +125,7 @@ func (m *Manager) Migrate(spec MigrationSpec) error {
 // thaw lands an in-flight checkpoint: on the requested destination if it
 // can still host the job, otherwise wherever the placement function says,
 // otherwise the admission queue (with progress preserved).
-func (m *Manager) thaw(job string, dst *Worker, cp *simdocker.Checkpoint) {
+func (m *Manager) thaw(job string, dst *Worker, cp *runtime.Checkpoint) {
 	m.migrated++
 	profile := m.profiles[job]
 	if dst == nil || !dst.CanHost(profile) {
@@ -158,12 +158,11 @@ func (m *Manager) thaw(job string, dst *Worker, cp *simdocker.Checkpoint) {
 func (m *Manager) Drain(w *Worker, cost MigrationCost) int {
 	w.Cordon()
 	n := 0
-	for _, c := range w.Daemon().PS(false) {
-		name := c.Name()
-		if m.placed[name] != w || c.Workload().Done() {
+	for _, c := range w.PS(false) {
+		if m.placed[c.Name] != w || c.Done {
 			continue
 		}
-		if err := m.Migrate(MigrationSpec{Job: name, Cost: cost}); err != nil {
+		if err := m.Migrate(MigrationSpec{Job: c.Name, Cost: cost}); err != nil {
 			panic(fmt.Sprintf("cluster: drain %s: %v", w.Name(), err))
 		}
 		n++

@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/dlmodel"
+	"repro/internal/runtime"
 	"repro/internal/sim"
-	"repro/internal/simdocker"
 )
 
 // freeMove is a zero-latency cost model for tests that do not exercise
@@ -18,8 +18,8 @@ var freeMove = MigrationCost{}
 func twoWorkerManager(t *testing.T) (*sim.Engine, *Manager, *Worker, *Worker) {
 	t.Helper()
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
 	// FirstFit pins the job to w0 so the migration direction is known.
 	m := NewManager(e, []*Worker{w0, w1}, FirstFit)
 	m.Submit(0, "job", dlmodel.MNISTPyTorch())
@@ -51,15 +51,15 @@ func TestMigrateMovesJob(t *testing.T) {
 	cost := MigrationCost{FreezeSec: 1, ThawSec: 1} // 2s in flight
 	var ge = []float64{0.5, 0.25}
 	places := 0
-	m.OnPlace(func(string, *Worker, *simdocker.Container) { places++ })
+	m.OnPlace(func(string, *Worker, runtime.Container) { places++ })
 	migrations := 0
-	m.OnMigrate(func(name string, w *Worker, c *simdocker.Container) {
+	m.OnMigrate(func(name string, w *Worker, c runtime.Container) {
 		migrations++
 		if w != w1 {
 			t.Errorf("thawed on %s, want w1", w.Name())
 		}
-		if got := c.Workload().(*dlmodel.Job).Work(); math.Abs(got-10) > 1e-9 {
-			t.Errorf("thawed with %g work, want 10", got)
+		if math.Abs(c.Work-10) > 1e-9 {
+			t.Errorf("thawed with %g work, want 10", c.Work)
 		}
 	})
 	e.At(10, sim.PriorityState, "migrate", func() {
@@ -82,16 +82,16 @@ func TestMigrateMovesJob(t *testing.T) {
 		t.Fatal("job not placed on w1 after thaw")
 	}
 	// 10s of work before the freeze, 2s frozen, remainder on w1.
-	c, err := w1.Daemon().Lookup("job")
+	c, err := w1.Lookup("job")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := 12 + (dlmodel.MNISTPyTorch().TotalWork - 10)
-	if math.Abs(float64(c.FinishedAt())-want) > 1e-6 {
+	if math.Abs(c.FinishedAt-want) > 1e-6 {
 		t.Fatalf("finished at %v, want %g (freeze window must deliver no work)",
-			c.FinishedAt(), want)
+			c.FinishedAt, want)
 	}
-	if got := c.Workload().(*dlmodel.Job); !got.Done() {
+	if !c.Done {
 		t.Fatal("job did not finish")
 	}
 }
@@ -109,8 +109,8 @@ func TestSourceFailureDuringMigration(t *testing.T) {
 	})
 	e.At(12, sim.PriorityState, "crash", w0.Fail)
 	lands := 0
-	m.OnPlace(func(string, *Worker, *simdocker.Container) { lands++ })
-	m.OnMigrate(func(string, *Worker, *simdocker.Container) { lands++ })
+	m.OnPlace(func(string, *Worker, runtime.Container) { lands++ })
+	m.OnMigrate(func(string, *Worker, runtime.Container) { lands++ })
 	e.RunAll()
 	if lands != 1 {
 		t.Fatalf("job landed %d times after source crash, want exactly 1 (the thaw)", lands)
@@ -121,14 +121,14 @@ func TestSourceFailureDuringMigration(t *testing.T) {
 	if m.WorkerOf("job") != w1 {
 		t.Fatal("job not on w1")
 	}
-	c, err := w1.Daemon().Lookup("job")
+	c, err := w1.Lookup("job")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Progress preserved: 10s of pre-freeze work survived the crash.
 	want := 14 + (dlmodel.MNISTPyTorch().TotalWork - 10)
-	if math.Abs(float64(c.FinishedAt())-want) > 1e-6 {
-		t.Fatalf("finished at %v, want %g", c.FinishedAt(), want)
+	if math.Abs(c.FinishedAt-want) > 1e-6 {
+		t.Fatalf("finished at %v, want %g", c.FinishedAt, want)
 	}
 }
 
@@ -136,9 +136,9 @@ func TestSourceFailureDuringMigration(t *testing.T) {
 // through the placement function — the job lands exactly once, elsewhere.
 func TestDestinationFailureDuringMigration(t *testing.T) {
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
-	w2 := NewWorker("w2", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
+	w2, _ := NewSimWorker("w2", e, 1.0)
 	m := NewManager(e, []*Worker{w0, w1, w2}, FirstFit)
 	m.Submit(0, "job", dlmodel.MNISTPyTorch())
 	e.Run(1)
@@ -151,8 +151,8 @@ func TestDestinationFailureDuringMigration(t *testing.T) {
 	})
 	e.At(12, sim.PriorityState, "crash", w1.Fail)
 	lands := 0
-	m.OnPlace(func(string, *Worker, *simdocker.Container) { lands++ })
-	m.OnMigrate(func(string, *Worker, *simdocker.Container) { lands++ })
+	m.OnPlace(func(string, *Worker, runtime.Container) { lands++ })
+	m.OnMigrate(func(string, *Worker, runtime.Container) { lands++ })
 	e.RunAll()
 	if lands != 1 {
 		t.Fatalf("job landed %d times, want 1", lands)
@@ -164,11 +164,11 @@ func TestDestinationFailureDuringMigration(t *testing.T) {
 	if m.Migrated() != 1 {
 		t.Fatalf("Migrated = %d, want 1", m.Migrated())
 	}
-	c, err := w0.Daemon().Lookup("job")
+	c, err := w0.Lookup("job")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c.Workload().Done() {
+	if !c.Done {
 		t.Fatal("job did not finish after rerouted thaw")
 	}
 }
@@ -201,17 +201,17 @@ func TestThawQueuesWhenNowhereToLand(t *testing.T) {
 		m.Kick()
 	})
 	e.RunAll()
-	c, err := w1.Daemon().Lookup("job")
+	c, err := w1.Lookup("job")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c.Workload().Done() {
+	if !c.Done {
 		t.Fatal("queued job never finished")
 	}
 	// Work preserved across the queue round trip: finish = 30 + remaining.
 	want := 30 + (dlmodel.MNISTPyTorch().TotalWork - 10)
-	if math.Abs(float64(c.FinishedAt())-want) > 1e-6 {
-		t.Fatalf("finished at %v, want %g", c.FinishedAt(), want)
+	if math.Abs(c.FinishedAt-want) > 1e-6 {
+		t.Fatalf("finished at %v, want %g", c.FinishedAt, want)
 	}
 }
 
@@ -257,8 +257,8 @@ func TestMigrateValidation(t *testing.T) {
 // finishes everything; uncordoning reopens the node.
 func TestDrainMovesEverythingOff(t *testing.T) {
 	e := sim.NewEngine()
-	w0 := NewWorker("w0", e, 1.0)
-	w1 := NewWorker("w1", e, 1.0)
+	w0, _ := NewSimWorker("w0", e, 1.0)
+	w1, _ := NewSimWorker("w1", e, 1.0)
 	m := NewManager(e, []*Worker{w0, w1}, FirstFit)
 	m.Submit(0, "a", dlmodel.MNISTPyTorch())
 	m.Submit(0, "b", dlmodel.VAEPyTorch())
@@ -289,11 +289,11 @@ func TestDrainMovesEverythingOff(t *testing.T) {
 		t.Fatalf("Migrated = %d, want 2", m.Migrated())
 	}
 	for _, name := range []string{"a", "b"} {
-		c, err := w1.Daemon().Lookup(name)
+		c, err := w1.Lookup(name)
 		if err != nil {
 			t.Fatalf("job %s not on w1: %v", name, err)
 		}
-		if !c.Workload().Done() {
+		if !c.Done {
 			t.Fatalf("job %s unfinished", name)
 		}
 	}
@@ -307,7 +307,7 @@ func TestMigrateBackAfterRepair(t *testing.T) {
 	e.At(10, sim.PriorityState, "crash", w0.Fail)
 	e.At(20, sim.PriorityState, "repair", func() {
 		w0.Repair()
-		if got := len(w0.Daemon().PS(true)); got != 0 {
+		if got := len(w0.PS(true)); got != 0 {
 			t.Errorf("repaired worker still holds %d husks", got)
 		}
 	})
@@ -325,11 +325,11 @@ func TestMigrateBackAfterRepair(t *testing.T) {
 	if m.WorkerOf("job") != w0 {
 		t.Fatal("job did not land back on the repaired worker")
 	}
-	c, err := w0.Daemon().Lookup("job")
+	c, err := w0.Lookup("job")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c.Workload().Done() {
+	if !c.Done {
 		t.Fatal("job did not finish on the repaired worker")
 	}
 }

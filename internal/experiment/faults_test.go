@@ -166,7 +166,7 @@ func TestCheckpointingSpeedsRecovery(t *testing.T) {
 
 func TestCheckpointIntervalValidation(t *testing.T) {
 	e := simNewEngineForTest()
-	w := cluster.NewWorker("w0", e, 1.0)
+	w, _ := cluster.NewSimWorker("w0", e, 1.0)
 	m := cluster.NewManager(e, []*cluster.Worker{w}, nil)
 	defer func() {
 		if recover() == nil {

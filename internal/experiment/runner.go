@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/flowcon"
 	"repro/internal/metrics"
+	rt "repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simdocker"
@@ -270,21 +271,23 @@ func RunE(spec Spec) (*Result, error) {
 	}
 
 	workers := make([]*cluster.Worker, spec.Workers)
+	daemons := make([]*simdocker.Daemon, spec.Workers)
 	policies := make([]sched.Policy, spec.Workers)
 	for i := range workers {
-		w := cluster.NewWorker(fmt.Sprintf("worker-%d", i), laneOf(i), spec.Capacity)
-		w.Daemon().SetContentionOverhead(spec.ContentionOverhead)
+		w, d := cluster.NewSimWorker(fmt.Sprintf("worker-%d", i), laneOf(i), spec.Capacity)
+		d.SetContentionOverhead(spec.ContentionOverhead)
 		switch {
 		case spec.MemoryBytesPerWorker > 0:
-			w.Daemon().SetMemoryCapacity(spec.MemoryBytesPerWorker)
+			d.SetMemoryCapacity(spec.MemoryBytesPerWorker)
 		case spec.MemoryBytesPerWorker < 0:
-			w.Daemon().SetMemoryCapacity(0)
+			d.SetMemoryCapacity(0)
 		}
 		if spec.MaxContainersPerWorker > 0 {
 			w.SetMaxContainers(spec.MaxContainersPerWorker)
 		}
 		workers[i] = w
-		collector.AttachWorker(w.Name(), w.Daemon())
+		daemons[i] = d
+		collector.AttachWorker(w.Name(), d)
 		p := spec.NewPolicy(collector)
 		p.Attach(laneOf(i), w)
 		policies[i] = p
@@ -302,11 +305,11 @@ func RunE(spec Spec) (*Result, error) {
 	if spec.CheckpointWork > 0 {
 		manager.EnableCheckpointing(spec.CheckpointWork)
 	}
-	manager.OnPlace(func(name string, w *cluster.Worker, c *simdocker.Container) {
-		collector.TrackJob(name, w.Name(), modelOf[name], c)
+	manager.OnPlace(func(name string, w *cluster.Worker, c rt.Container) {
+		collector.TrackJob(name, w.Name(), modelOf[name], c.ID, c.StartedAt)
 	})
-	manager.OnMigrate(func(name string, w *cluster.Worker, c *simdocker.Container) {
-		collector.TrackJobMigrated(name, w.Name(), modelOf[name], c)
+	manager.OnMigrate(func(name string, w *cluster.Worker, c rt.Container) {
+		collector.TrackJobMigrated(name, w.Name(), modelOf[name], c.ID, c.StartedAt)
 	})
 	var clusterPolicy sched.ClusterPolicy
 	if spec.ClusterPolicy != nil {
@@ -346,8 +349,8 @@ func RunE(spec Spec) (*Result, error) {
 		exhausted.Store(true)
 	}
 	var finished atomic.Int64
-	for _, w := range workers {
-		w.Daemon().OnExit(func(c *simdocker.Container) {
+	for _, d := range daemons {
+		d.OnExit(func(c *simdocker.Container) {
 			if !c.Workload().Done() {
 				return
 			}

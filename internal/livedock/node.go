@@ -4,9 +4,12 @@
 //
 // Where simdocker exists to make experiments exact and reproducible,
 // livedock exists to run FlowCon the way the paper deploys it — as live
-// middleware polling a daemon. It implements realtime.Runtime, so
-// realtime.Driver can manage it directly, and the cmd/flowcon-worker
-// agent serves it over HTTP for a Swarm-style manager/worker split.
+// middleware polling a daemon. It implements both realtime.Runtime (so
+// realtime.Driver can manage it directly) and the full runtime.Runtime
+// lifecycle contract (so the cluster layers and the agent service drive
+// it through the same surface as the simulator), and the
+// cmd/flowcon-worker agent serves it over HTTP for a Swarm-style
+// manager/worker split.
 //
 // The clock is injectable: tests drive a fake clock deterministically,
 // production uses time.Now.
@@ -21,6 +24,7 @@ import (
 
 	"repro/internal/flowcon"
 	"repro/internal/resource"
+	"repro/internal/runtime"
 )
 
 // State is a container lifecycle state.
@@ -41,26 +45,25 @@ func (s State) String() string {
 	return "exited"
 }
 
-// Errors returned by node operations.
+// Errors returned by node operations. Each wraps the backend-neutral
+// sentinel in internal/runtime, so errors.Is matches against either
+// livedock.ErrNotFound or runtime.ErrNotFound.
 var (
-	ErrNotFound   = errors.New("livedock: no such container")
-	ErrNotRunning = errors.New("livedock: container is not running")
-	ErrBadLimit   = errors.New("livedock: cpu limit must be in (0,1]")
+	ErrNotFound   = fmt.Errorf("livedock: %w", runtime.ErrNotFound)
+	ErrNotRunning = fmt.Errorf("livedock: %w", runtime.ErrNotRunning)
+	ErrNameInUse  = fmt.Errorf("livedock: %w", runtime.ErrNameInUse)
+	ErrBadLimit   = fmt.Errorf("livedock: %w", runtime.ErrBadLimit)
 )
 
 // Workload is the same black-box contract simdocker uses; *dlmodel.Job
 // satisfies it.
-type Workload interface {
-	Advance(cpuSeconds float64)
-	CPUDemand() float64
-	Done() bool
-	Eval() float64
-}
+type Workload = runtime.Workload
 
 // Container is one live containerized job.
 type Container struct {
 	ID       string
 	Name     string
+	Model    string
 	State    State
 	Limit    float64
 	Alloc    float64
@@ -69,19 +72,26 @@ type Container struct {
 	Finished time.Time
 
 	workload Workload
+	memBytes float64
 }
 
 // Node is a live worker node. All methods are safe for concurrent use.
 type Node struct {
-	mu         sync.Mutex
-	capacity   float64
-	clock      func() time.Time
-	containers map[string]*Container
-	order      []string
-	seq        int
-	lastSettle time.Time
-	onExit     []func(id string)
+	mu          sync.Mutex
+	capacity    float64
+	memCapacity float64
+	clock       func() time.Time
+	epoch       time.Time
+	containers  map[string]*Container
+	byName      map[string]string
+	order       []string
+	seq         int
+	lastSettle  time.Time
+	onStart     []func(runtime.Container)
+	onExit      []func(runtime.Container)
 }
+
+var _ runtime.Runtime = (*Node)(nil)
 
 // NewNode creates a node with the given normalized CPU capacity using the
 // system clock.
@@ -97,44 +107,150 @@ func NewNodeWithClock(capacity float64, clock func() time.Time) *Node {
 	if clock == nil {
 		panic("livedock: nil clock")
 	}
+	now := clock()
 	return &Node{
 		capacity:   capacity,
 		clock:      clock,
+		epoch:      now,
 		containers: make(map[string]*Container),
-		lastSettle: clock(),
+		byName:     make(map[string]string),
+		lastSettle: now,
 	}
+}
+
+// Capacity implements runtime.Runtime.
+func (n *Node) Capacity() float64 { return n.capacity }
+
+// SetMemoryCapacity enables memory modelling: workloads exposing a
+// MemoryBytes footprint (dlmodel jobs do) then count toward MemoryUsed.
+// Zero (the default) leaves memory unmodelled.
+func (n *Node) SetMemoryCapacity(bytes float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.memCapacity = bytes
+}
+
+// MemoryCapacity implements runtime.Runtime (0 when unmodelled).
+func (n *Node) MemoryCapacity() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.memCapacity
+}
+
+// MemoryUsed implements runtime.Runtime: the resident sum over running
+// containers whose workloads expose a footprint.
+func (n *Node) MemoryUsed() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	used := 0.0
+	for _, c := range n.containers {
+		if c.State == Running {
+			used += c.memBytes
+		}
+	}
+	return used
+}
+
+// OnStart subscribes to container-start notifications. Callbacks run
+// with the node lock released.
+func (n *Node) OnStart(fn func(runtime.Container)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onStart = append(n.onStart, fn)
 }
 
 // OnExit subscribes to container-exit notifications. Callbacks run with
 // the node lock released.
-func (n *Node) OnExit(fn func(id string)) {
+func (n *Node) OnExit(fn func(runtime.Container)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.onExit = append(n.onExit, fn)
 }
 
-// Run starts a container for the workload and returns its id.
-func (n *Node) Run(name string, w Workload) (string, error) {
-	if w == nil {
-		return "", errors.New("livedock: nil workload")
+// view snapshots a container into the backend-neutral value form. Times
+// are seconds since the node's epoch.
+func (n *Node) view(c *Container) runtime.Container {
+	v := runtime.Container{
+		ID:          c.ID,
+		Name:        c.Name,
+		Model:       c.Model,
+		CPULimit:    c.Limit,
+		CPUAlloc:    c.Alloc,
+		CPUSeconds:  c.CPUSec,
+		MemoryBytes: c.memBytes,
+		StartedAt:   c.Started.Sub(n.epoch).Seconds(),
+		Done:        c.workload.Done(),
+	}
+	if c.State == Running {
+		v.State = runtime.Running
+	} else {
+		v.State = runtime.Exited
+		v.FinishedAt = c.Finished.Sub(n.epoch).Seconds()
+	}
+	if wr, ok := c.workload.(interface{ Work() float64 }); ok {
+		v.Work = wr.Work()
+	}
+	return v
+}
+
+// Launch implements runtime.Runtime. The live backend hosts the workload
+// in-process, so spec.Workload is required; spec.Image is ignored (no
+// image store) and spec.Model is recorded for observability.
+func (n *Node) Launch(spec runtime.LaunchSpec) (runtime.Container, error) {
+	if spec.Workload == nil {
+		return runtime.Container{}, errors.New("livedock: nil workload")
+	}
+	limit := spec.CPULimit
+	if limit == 0 {
+		limit = 1.0
+	}
+	if limit <= 0 || limit > 1 {
+		return runtime.Container{}, fmt.Errorf("%w: %g", ErrBadLimit, limit)
 	}
 	n.mu.Lock()
 	exited := n.settleLocked()
+	if spec.Name != "" {
+		if _, taken := n.byName[spec.Name]; taken {
+			n.mu.Unlock()
+			n.notify(exited)
+			return runtime.Container{}, fmt.Errorf("%w: %s", ErrNameInUse, spec.Name)
+		}
+	}
 	n.seq++
 	id := fmt.Sprintf("live-c%04d", n.seq)
+	name := spec.Name
 	if name == "" {
 		name = id
 	}
 	c := &Container{
-		ID: id, Name: name, State: Running,
-		Limit: 1.0, Started: n.clock(), workload: w,
+		ID: id, Name: name, Model: spec.Model, State: Running,
+		Limit: limit, Started: n.clock(), workload: spec.Workload,
+	}
+	if mb, ok := spec.Workload.(interface{ MemoryBytes() float64 }); ok {
+		c.memBytes = mb.MemoryBytes()
 	}
 	n.containers[id] = c
+	n.byName[name] = id
 	n.order = append(n.order, id)
 	n.reallocateLocked()
+	v := n.view(c)
+	starts := append([]func(runtime.Container){}, n.onStart...)
 	n.mu.Unlock()
 	n.notify(exited)
-	return id, nil
+	for _, fn := range starts {
+		fn(v)
+	}
+	return v, nil
+}
+
+// Run starts a container for the workload and returns its id — the
+// historical launch form; Launch is the backend-neutral one.
+func (n *Node) Run(name string, w Workload) (string, error) {
+	v, err := n.Launch(runtime.LaunchSpec{Name: name, Workload: w})
+	if err != nil {
+		return "", err
+	}
+	return v.ID, nil
 }
 
 // SetCPULimit applies a soft limit — realtime.Runtime's update call.
@@ -173,12 +289,78 @@ func (n *Node) Stop(id string) error {
 		return fmt.Errorf("%w: %s", ErrNotRunning, id)
 	}
 	exited := n.settleLocked()
-	n.exitLocked(c)
-	exited = append(exited, c.ID)
+	if c.State == Running {
+		n.exitLocked(c)
+		exited = append(exited, n.view(c))
+	}
 	n.reallocateLocked()
 	n.mu.Unlock()
 	n.notify(exited)
 	return nil
+}
+
+// Remove deletes an exited container from the pool, freeing its name.
+func (n *Node) Remove(id string) error {
+	n.mu.Lock()
+	c, ok := n.containers[id]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.State == Running {
+		n.mu.Unlock()
+		return fmt.Errorf("livedock: container %s is running (stop it first)", id)
+	}
+	n.removeLocked(c)
+	n.mu.Unlock()
+	return nil
+}
+
+// removeLocked splices a container out of the pool.
+func (n *Node) removeLocked(c *Container) {
+	delete(n.containers, c.ID)
+	if n.byName[c.Name] == c.ID {
+		delete(n.byName, c.Name)
+	}
+	for i, id := range n.order {
+		if id == c.ID {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lookup implements runtime.Runtime: the container view by name.
+func (n *Node) Lookup(name string) (runtime.Container, error) {
+	n.mu.Lock()
+	exited := n.settleLocked()
+	id, ok := n.byName[name]
+	if !ok {
+		n.mu.Unlock()
+		n.notify(exited)
+		return runtime.Container{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	v := n.view(n.containers[id])
+	n.mu.Unlock()
+	n.notify(exited)
+	return v, nil
+}
+
+// PS implements runtime.Runtime: container views in creation order.
+func (n *Node) PS(all bool) []runtime.Container {
+	n.mu.Lock()
+	exited := n.settleLocked()
+	out := make([]runtime.Container, 0, len(n.order))
+	for _, id := range n.order {
+		c := n.containers[id]
+		if !all && c.State != Running {
+			continue
+		}
+		out = append(out, n.view(c))
+	}
+	n.mu.Unlock()
+	n.notify(exited)
+	return out
 }
 
 // RunningStats implements realtime.Runtime: it settles accounting to the
@@ -193,9 +375,10 @@ func (n *Node) RunningStats() []flowcon.Stat {
 			continue
 		}
 		out = append(out, flowcon.Stat{
-			ID:         c.ID,
-			Eval:       c.workload.Eval(),
-			CPUSeconds: c.CPUSec,
+			ID:          c.ID,
+			Eval:        c.workload.Eval(),
+			CPUSeconds:  c.CPUSec,
+			MemoryBytes: c.memBytes,
 		})
 	}
 	n.mu.Unlock()
@@ -214,6 +397,73 @@ func (n *Node) Snapshot() []Container {
 	n.mu.Unlock()
 	n.notify(exited)
 	return out
+}
+
+// Checkpoint implements runtime.Runtime: it settles accounting, freezes
+// the running container into a restorable snapshot, and removes it from
+// the pool (subscribers observe the departure as an exit, its name frees
+// up). Unlike the agent's remote surface this is an in-process freeze —
+// the live workload changes ownership, exactly as in simdocker.
+func (n *Node) Checkpoint(id string) (*runtime.Checkpoint, error) {
+	n.mu.Lock()
+	exited := n.settleLocked()
+	c, ok := n.containers[id]
+	if !ok {
+		n.mu.Unlock()
+		n.notify(exited)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if c.State != Running {
+		n.mu.Unlock()
+		n.notify(exited)
+		return nil, fmt.Errorf("%w: %s", ErrNotRunning, id)
+	}
+	cp := &runtime.Checkpoint{
+		ID:          c.ID,
+		Name:        c.Name,
+		CPULimit:    c.Limit,
+		MemoryBytes: c.memBytes,
+		FrozenAt:    n.clock().Sub(n.epoch).Seconds(),
+		Payload:     c.workload,
+	}
+	if wr, ok := c.workload.(interface{ Work() float64 }); ok {
+		cp.Work = wr.Work()
+	}
+	if rw, ok := c.workload.(interface{ Remaining() float64 }); ok {
+		if rem := rw.Remaining(); cp.Work+rem > 0 {
+			cp.ProgressFrac = cp.Work / (cp.Work + rem)
+		}
+	}
+	n.exitLocked(c)
+	exited = append(exited, n.view(c))
+	n.removeLocked(c)
+	n.reallocateLocked()
+	n.mu.Unlock()
+	n.notify(exited)
+	return cp, nil
+}
+
+// Restore implements runtime.Runtime: it thaws a checkpoint into a new
+// running container. The workload resumes exactly where the freeze left
+// it; the container keeps its name and soft limit but gets a fresh id. A
+// checkpoint restores at most once.
+func (n *Node) Restore(cp *runtime.Checkpoint) (runtime.Container, error) {
+	if cp == nil {
+		return runtime.Container{}, errors.New("livedock: restore of nil checkpoint")
+	}
+	if cp.Restored() {
+		return runtime.Container{}, fmt.Errorf("livedock: checkpoint of %s already restored", cp.Name)
+	}
+	v, err := n.Launch(runtime.LaunchSpec{
+		Name:     cp.Name,
+		Workload: cp.Payload,
+		CPULimit: cp.CPULimit,
+	})
+	if err != nil {
+		return runtime.Container{}, err
+	}
+	cp.MarkRestored()
+	return v, nil
 }
 
 // Settle advances accounting to the current instant; completion detection
@@ -240,16 +490,17 @@ func (n *Node) RunningCount() int {
 }
 
 // settleLocked integrates work since the last settle at the current
-// allocations, retires finished workloads, and returns their ids. Callers
-// must hold the lock and pass the ids to notify after releasing it.
-func (n *Node) settleLocked() []string {
+// allocations, retires finished workloads, and returns their exit views.
+// Callers must hold the lock and pass the views to notify after
+// releasing it.
+func (n *Node) settleLocked() []runtime.Container {
 	now := n.clock()
 	dt := now.Sub(n.lastSettle).Seconds()
 	n.lastSettle = now
 	if dt <= 0 {
 		return nil
 	}
-	var exited []string
+	var exited []runtime.Container
 	for _, id := range n.order {
 		c := n.containers[id]
 		if c.State != Running || c.Alloc == 0 {
@@ -263,7 +514,7 @@ func (n *Node) settleLocked() []string {
 		c := n.containers[id]
 		if c.State == Running && (c.workload.Done() || c.workload.CPUDemand() <= 0) {
 			n.exitLocked(c)
-			exited = append(exited, c.ID)
+			exited = append(exited, n.view(c))
 		}
 	}
 	if len(exited) > 0 {
@@ -299,17 +550,17 @@ func (n *Node) reallocateLocked() {
 }
 
 // notify fires exit callbacks outside the lock, in deterministic order.
-func (n *Node) notify(exited []string) {
+func (n *Node) notify(exited []runtime.Container) {
 	if len(exited) == 0 {
 		return
 	}
-	sort.Strings(exited)
+	sort.Slice(exited, func(i, j int) bool { return exited[i].ID < exited[j].ID })
 	n.mu.Lock()
-	subs := append([]func(id string){}, n.onExit...)
+	subs := append([]func(runtime.Container){}, n.onExit...)
 	n.mu.Unlock()
-	for _, id := range exited {
+	for _, v := range exited {
 		for _, fn := range subs {
-			fn(id)
+			fn(v)
 		}
 	}
 }

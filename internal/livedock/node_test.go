@@ -11,6 +11,7 @@ import (
 	"repro/internal/dlmodel"
 	"repro/internal/flowcon"
 	"repro/internal/realtime"
+	"repro/internal/runtime"
 )
 
 // fakeClock is a manually-advanced clock.
@@ -59,7 +60,7 @@ func TestNodeRunAndComplete(t *testing.T) {
 	clk := newFakeClock()
 	n := NewNodeWithClock(1.0, clk.Now)
 	var exits []string
-	n.OnExit(func(id string) { exits = append(exits, id) })
+	n.OnExit(func(c runtime.Container) { exits = append(exits, c.ID) })
 
 	id, err := n.Run("j", &tinyJob{total: 10})
 	if err != nil {

@@ -133,21 +133,21 @@ func (c *Collector) Tier() Tier { return c.tier }
 // Re-tracking an existing job name re-binds it to a new container — the
 // manager does this when a job is rescheduled after a worker failure; the
 // original start time is kept so CompletionTime covers the restart.
-func (c *Collector) TrackJob(name, worker, model string, cont *simdocker.Container) {
+func (c *Collector) TrackJob(name, worker, model, containerID string, startedAt float64) {
 	if r, ok := c.jobs[name]; ok {
-		c.rebind(r, name, worker, cont)
+		c.rebind(r, name, worker, containerID)
 		r.Restarts++
 		return
 	}
 	r := &JobRecord{
 		Name:        name,
-		ContainerID: cont.ID(),
+		ContainerID: containerID,
 		Worker:      worker,
 		Model:       model,
-		StartedAt:   float64(cont.StartedAt()),
+		StartedAt:   startedAt,
 	}
 	c.jobs[name] = r
-	c.byCID[cont.ID()] = r
+	c.byCID[containerID] = r
 	c.cpuSum[name] = NewSeriesSummary()
 	c.evalSum[name] = NewSeriesSummary()
 	c.limitSum[name] = NewSeriesSummary()
@@ -169,25 +169,25 @@ func (c *Collector) TrackJob(name, worker, model string, cont *simdocker.Contain
 // failure re-placement the move was lossless, so it counts as a
 // Migration, not a Restart. A job never seen before falls through to
 // TrackJob (defensive; the manager always places before it migrates).
-func (c *Collector) TrackJobMigrated(name, worker, model string, cont *simdocker.Container) {
+func (c *Collector) TrackJobMigrated(name, worker, model, containerID string, startedAt float64) {
 	r, ok := c.jobs[name]
 	if !ok {
-		c.TrackJob(name, worker, model, cont)
+		c.TrackJob(name, worker, model, containerID, startedAt)
 		return
 	}
-	c.rebind(r, name, worker, cont)
+	c.rebind(r, name, worker, containerID)
 	r.Migrations++
 }
 
 // rebind points an open job record at a new container.
-func (c *Collector) rebind(r *JobRecord, name, worker string, cont *simdocker.Container) {
+func (c *Collector) rebind(r *JobRecord, name, worker, containerID string) {
 	if r.Finished {
 		panic(fmt.Sprintf("metrics: re-tracking finished job %q", name))
 	}
 	delete(c.byCID, r.ContainerID)
-	r.ContainerID = cont.ID()
+	r.ContainerID = containerID
 	r.Worker = worker
-	c.byCID[cont.ID()] = r
+	c.byCID[containerID] = r
 }
 
 // JobExited records a job's completion. Call from the daemon's OnExit

@@ -30,7 +30,7 @@ func buildCollectorTier(t *testing.T, tier Tier) *Collector {
 		if err != nil {
 			t.Fatal(err)
 		}
-		col.TrackJob(name, "w0", p.Key(), c)
+		col.TrackJob(name, "w0", p.Key(), c.ID(), float64(c.StartedAt()))
 	}
 	d.OnExit(func(*simdocker.Container) {
 		if col.AllFinished() {

@@ -143,7 +143,7 @@ func TestCollectorEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col.TrackJob("A", "w0", "MNIST (Tensorflow)", cA)
+	col.TrackJob("A", "w0", "MNIST (Tensorflow)", cA.ID(), float64(cA.StartedAt()))
 
 	e.At(10, sim.PriorityState, "launch-b", func() {
 		jobB := dlmodel.NewJob("B", dlmodel.GRU())
@@ -152,7 +152,7 @@ func TestCollectorEndToEnd(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		col.TrackJob("B", "w0", "RNN-GRU (Tensorflow)", cB)
+		col.TrackJob("B", "w0", "RNN-GRU (Tensorflow)", cB.ID(), float64(cB.StartedAt()))
 	})
 	stop := func(c *simdocker.Container) {
 		if col.AllFinished() {
@@ -203,7 +203,7 @@ func TestCollectorRetrackRebinds(t *testing.T) {
 	col := NewCollector(e, 1.0)
 	j := dlmodel.NewJob("x", dlmodel.GRU())
 	c1, _ := d.Run(simdocker.RunSpec{Image: "img:1", Name: "x1", Workload: j})
-	col.TrackJob("x", "w", "m", c1)
+	col.TrackJob("x", "w", "m", c1.ID(), float64(c1.StartedAt()))
 
 	// Simulate a failure-kill and a re-placement onto a new container.
 	if err := d.Stop(c1.ID()); err != nil {
@@ -216,7 +216,7 @@ func TestCollectorRetrackRebinds(t *testing.T) {
 	}
 	j2 := dlmodel.NewJob("x", dlmodel.GRU())
 	c2, _ := d.Run(simdocker.RunSpec{Image: "img:1", Name: "x2", Workload: j2})
-	col.TrackJob("x", "w2", "m", c2)
+	col.TrackJob("x", "w2", "m", c2.ID(), float64(c2.StartedAt()))
 	r, _ = col.Job("x")
 	if r.ContainerID != c2.ID() || r.Restarts != 1 || r.Worker != "w2" {
 		t.Fatalf("rebind failed: %+v", r)
@@ -237,7 +237,7 @@ func TestCollectorTracksMigrationsSeparately(t *testing.T) {
 	col := NewCollector(e, 1.0)
 	j := dlmodel.NewJob("x", dlmodel.GRU())
 	c1, _ := d.Run(simdocker.RunSpec{Image: "img:1", Name: "x1", Workload: j})
-	col.TrackJob("x", "w", "m", c1)
+	col.TrackJob("x", "w", "m", c1.ID(), float64(c1.StartedAt()))
 
 	// A live-migration thaw re-binds without counting a restart.
 	cp, err := d.Checkpoint(c1.ID())
@@ -248,7 +248,7 @@ func TestCollectorTracksMigrationsSeparately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col.TrackJobMigrated("x", "w2", "m", c2)
+	col.TrackJobMigrated("x", "w2", "m", c2.ID(), float64(c2.StartedAt()))
 	r, _ := col.Job("x")
 	if r.ContainerID != c2.ID() || r.Worker != "w2" {
 		t.Fatalf("migration rebind failed: %+v", r)
@@ -259,7 +259,7 @@ func TestCollectorTracksMigrationsSeparately(t *testing.T) {
 	// A never-tracked job falls through to a fresh record.
 	j2 := dlmodel.NewJob("y", dlmodel.GRU())
 	c3, _ := d.Run(simdocker.RunSpec{Image: "img:1", Name: "y1", Workload: j2})
-	col.TrackJobMigrated("y", "w", "m", c3)
+	col.TrackJobMigrated("y", "w", "m", c3.ID(), float64(c3.StartedAt()))
 	if r, ok := col.Job("y"); !ok || r.Migrations != 0 {
 		t.Fatalf("fallback tracking failed: %+v ok=%v", r, ok)
 	}
@@ -272,7 +272,7 @@ func TestCollectorRecordRun(t *testing.T) {
 	col := NewCollectorTier(e, 1.0, TierDense)
 	j := dlmodel.NewJob("x", dlmodel.GRU())
 	c, _ := d.Run(simdocker.RunSpec{Image: "img:1", Workload: j})
-	col.TrackJob("x", "w", "m", c)
+	col.TrackJob("x", "w", "m", c.ID(), float64(c.StartedAt()))
 
 	col.RecordRun(flowcon.TraceEntry{
 		At: 5,

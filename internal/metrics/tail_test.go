@@ -35,7 +35,7 @@ func runTailScenario(t *testing.T, tier Tier, horizon float64) *Collector {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col.TrackJob("A", "w0", "m", c)
+	col.TrackJob("A", "w0", "m", c.ID(), float64(c.StartedAt()))
 	e.Run(sim.Time(horizon))
 	if !col.AllFinished() {
 		t.Fatal("job did not finish within horizon")
@@ -124,7 +124,7 @@ func TestGrowthAtTierParity(t *testing.T) {
 		col := NewCollectorTier(e, 1.0, tier)
 		j := dlmodel.NewJob("x", dlmodel.GRU())
 		c, _ := d.Run(simdocker.RunSpec{Image: "img:1", Workload: j})
-		col.TrackJob("x", "w", "m", c)
+		col.TrackJob("x", "w", "m", c.ID(), float64(c.StartedAt()))
 		for i := 0; i < 50; i++ {
 			col.RecordRun(traceEntryAt(c.ID(), float64(10+i*30), float64(i)/50))
 		}

@@ -35,8 +35,9 @@ func benchCluster(b *testing.B, workers, n int) (*sim.Engine, *cluster.Manager) 
 	e := sim.NewEngine()
 	ws := make([]*cluster.Worker, workers)
 	for i := range ws {
-		ws[i] = cluster.NewWorker(fmt.Sprintf("w%d", i), e, 1.0)
-		ws[i].Daemon().SetMemoryCapacity(0)
+		w, d := cluster.NewSimWorker(fmt.Sprintf("w%d", i), e, 1.0)
+		d.SetMemoryCapacity(0)
+		ws[i] = w
 	}
 	m := cluster.NewManager(e, ws, cluster.FirstFit)
 	p := benchProfile()

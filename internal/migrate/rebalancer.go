@@ -260,7 +260,7 @@ func (r *Rebalancer) Scan() []Plan {
 			continue
 		}
 		ws.running = w.RunningCount()
-		ws.memUsed = w.Daemon().MemoryUsed()
+		ws.memUsed = w.MemoryUsed()
 		stats := w.RunningStats()
 		measurements := r.monitors[i].Collect(now, stats)
 		unmeasured := make(map[string]bool)
@@ -284,21 +284,21 @@ func (r *Rebalancer) Scan() []Plan {
 		}
 		// Candidate victims: running containers with at least one measured
 		// interval. A container measured this scan keeps its job name
-		// reachable through the daemon's pool (names are job labels).
-		for _, c := range w.Daemon().PS(false) {
+		// reachable through the runtime's pool (names are job labels).
+		for _, c := range w.PS(false) {
 			// Containers without a measured interval still consume CPU
 			// right now: account their instantaneous allocation so a node
 			// crowded with fresh arrivals does not masquerade as idle to
 			// the destination-fitness score.
-			if unmeasured[c.ID()] {
-				ws.load[resource.CPU] += c.CPUAlloc()
+			if unmeasured[c.ID] {
+				ws.load[resource.CPU] += c.CPUAlloc
 			}
-			hist, ok := r.ge[c.ID()]
-			if !ok || len(hist) == 0 || c.Workload().Done() {
+			hist, ok := r.ge[c.ID]
+			if !ok || len(hist) == 0 || c.Done {
 				continue
 			}
 			ws.movable = append(ws.movable, victim{
-				job: c.Name(), g: hist[len(hist)-1], vec: r.res[c.ID()],
+				job: c.Name, g: hist[len(hist)-1], vec: r.res[c.ID],
 			})
 		}
 		sortVictims(ws.movable)
@@ -423,8 +423,8 @@ const (
 // destination that is quiet on every axis scores near zero no matter the
 // units involved.
 func fitness(ws *workerState, v victim, p dlmodel.Profile, ioNorm *[resource.NumKinds]float64) float64 {
-	score := fitWeightCPU * (ws.load[resource.CPU] + v.vec[resource.CPU]) / ws.worker.Daemon().Capacity()
-	if memCap := ws.worker.Daemon().MemoryCapacity(); memCap > 0 {
+	score := fitWeightCPU * (ws.load[resource.CPU] + v.vec[resource.CPU]) / ws.worker.Capacity()
+	if memCap := ws.worker.MemoryCapacity(); memCap > 0 {
 		score += fitWeightMemory * (ws.memUsed + p.MemoryBytes) / memCap
 	}
 	if n := ioNorm[resource.BlkIO]; n > 0 {
@@ -444,7 +444,7 @@ func fitness(ws *workerState, v victim, p dlmodel.Profile, ioNorm *[resource.Num
 // guarantees scans converge instead of ping-ponging.
 func (r *Rebalancer) planMove(states []workerState, src *workerState) (Plan, bool) {
 	v := src.movable[0]
-	c, err := src.worker.Daemon().Lookup(v.job)
+	c, err := src.worker.Lookup(v.job)
 	if err != nil {
 		return Plan{}, false
 	}
@@ -494,7 +494,7 @@ func (r *Rebalancer) planMove(states []workerState, src *workerState) (Plan, boo
 		Src:       src.worker.Name(),
 		Dst:       dst.worker.Name(),
 		G:         v.g,
-		GEHistory: append([]float64(nil), r.ge[c.ID()]...),
+		GEHistory: append([]float64(nil), r.ge[c.ID]...),
 		Reason:    reason,
 	}, true
 }

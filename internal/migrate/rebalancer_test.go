@@ -29,7 +29,7 @@ func buildCluster(n int) (*sim.Engine, *cluster.Manager, []*cluster.Worker) {
 	e := sim.NewEngine()
 	workers := make([]*cluster.Worker, n)
 	for i := range workers {
-		workers[i] = cluster.NewWorker("w"+string(rune('0'+i)), e, 1.0)
+		workers[i], _ = cluster.NewSimWorker("w"+string(rune('0'+i)), e, 1.0)
 	}
 	return e, cluster.NewManager(e, workers, cluster.FirstFit), workers
 }

@@ -14,7 +14,7 @@ import (
 func launch(t *testing.T, e *sim.Engine, w *cluster.Worker, at sim.Time, name string, p dlmodel.Profile) {
 	t.Helper()
 	e.At(at, sim.PriorityState, "launch-"+name, func() {
-		if _, err := w.Launch(name, dlmodel.NewJob(name, p)); err != nil {
+		if _, err := w.LaunchJob(name, dlmodel.NewJob(name, p)); err != nil {
 			t.Errorf("launch %s: %v", name, err)
 		}
 	})
@@ -22,14 +22,14 @@ func launch(t *testing.T, e *sim.Engine, w *cluster.Worker, at sim.Time, name st
 
 func TestNAPolicyInstallsNothing(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	NA{}.Attach(e, w)
 	launch(t, e, w, 0, "a", dlmodel.GRU())
 	launch(t, e, w, 0, "b", dlmodel.GRU())
 	e.RunAll()
 	// With no policy, both identical jobs share equally and finish
 	// together at 2*W.
-	conts := w.Daemon().PS(true)
+	conts := d.PS(true)
 	if len(conts) != 2 {
 		t.Fatalf("%d containers", len(conts))
 	}
@@ -46,7 +46,7 @@ func TestNAPolicyInstallsNothing(t *testing.T) {
 
 func TestFlowConPolicyThrottlesConvergedJob(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	fc := &FlowCon{Config: flowcon.Config{Alpha: 0.05, Beta: 2, InitialInterval: 20}}
 	fc.Attach(e, w)
 	if fc.Name() != "FlowCon-5%-20" {
@@ -63,7 +63,7 @@ func TestFlowConPolicyThrottlesConvergedJob(t *testing.T) {
 		t.Fatal("controller not attached")
 	}
 	var vaeID, mnistID string
-	for _, c := range w.Daemon().PS(true) {
+	for _, c := range d.PS(true) {
 		switch c.Name() {
 		case "vae":
 			vaeID = c.ID()
@@ -77,8 +77,8 @@ func TestFlowConPolicyThrottlesConvergedJob(t *testing.T) {
 	if l, ok := ctrl.ListOf(mnistID); !ok || l != flowcon.NewList {
 		t.Fatalf("MNIST in %v, want NL", l)
 	}
-	vae, _ := w.Daemon().Get(vaeID)
-	mnist, _ := w.Daemon().Get(mnistID)
+	vae, _ := d.Get(vaeID)
+	mnist, _ := d.Get(mnistID)
 	if vae.CPULimit() >= mnist.CPULimit() {
 		t.Fatalf("VAE limit %v not below MNIST %v", vae.CPULimit(), mnist.CPULimit())
 	}
@@ -93,7 +93,7 @@ func TestFlowConPolicyThrottlesConvergedJob(t *testing.T) {
 
 func TestStaticEqualRebalances(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	StaticEqual{}.Attach(e, w)
 	if StaticEqual.Name(StaticEqual{}) != "StaticEqual" {
 		t.Fatal("name")
@@ -102,7 +102,7 @@ func TestStaticEqualRebalances(t *testing.T) {
 	launch(t, e, w, 10, "b", dlmodel.VAEPyTorch())
 	launch(t, e, w, 20, "c", dlmodel.VAEPyTorch())
 	e.Run(25)
-	for _, c := range w.Daemon().PS(false) {
+	for _, c := range d.PS(false) {
 		if math.Abs(c.CPULimit()-1.0/3) > 1e-9 {
 			t.Fatalf("container %s limit %v, want 1/3", c.Name(), c.CPULimit())
 		}
@@ -111,7 +111,7 @@ func TestStaticEqualRebalances(t *testing.T) {
 
 func TestSLAQFavorsProgressingJobs(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	s := &SLAQ{Interval: 20}
 	s.Attach(e, w)
 	if s.Name() != "SLAQ-like" {
@@ -122,7 +122,7 @@ func TestSLAQFavorsProgressingJobs(t *testing.T) {
 	launch(t, e, w, 150, "fresh", dlmodel.MNISTTensorFlow())
 	e.Run(200)
 	var old, fresh float64
-	for _, c := range w.Daemon().PS(false) {
+	for _, c := range d.PS(false) {
 		switch c.Name() {
 		case "old":
 			old = c.CPULimit()
@@ -141,7 +141,7 @@ func TestSLAQFavorsProgressingJobs(t *testing.T) {
 func TestSLAQDefaults(t *testing.T) {
 	s := &SLAQ{}
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, _ := cluster.NewSimWorker("w", e, 1.0)
 	s.Attach(e, w)
 	if s.Interval != 20 || s.MinShare != 0.05 {
 		t.Fatalf("defaults not applied: %+v", s)

@@ -10,7 +10,7 @@ import (
 
 func TestTimeSliceActivatesSubset(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	ts := &TimeSlice{Slots: 1, Quantum: 30}
 	ts.Attach(e, w)
 	if ts.Name() != "TimeSlice" {
@@ -22,7 +22,7 @@ func TestTimeSliceActivatesSubset(t *testing.T) {
 	e.Run(10)
 	// Exactly one container holds weight 1; the others are parked.
 	active, parked := 0, 0
-	for _, c := range w.Daemon().PS(false) {
+	for _, c := range d.PS(false) {
 		switch c.CPULimit() {
 		case 1.0:
 			active++
@@ -37,13 +37,13 @@ func TestTimeSliceActivatesSubset(t *testing.T) {
 
 func TestTimeSliceRotates(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	ts := &TimeSlice{Slots: 1, Quantum: 30}
 	ts.Attach(e, w)
 	launch(t, e, w, 0, "a", dlmodel.VAEPyTorch())
 	launch(t, e, w, 0, "b", dlmodel.VAEPyTorch())
 	activeAt := func() string {
-		for _, c := range w.Daemon().PS(false) {
+		for _, c := range d.PS(false) {
 			if c.CPULimit() == 1.0 {
 				return c.Name()
 			}
@@ -64,14 +64,14 @@ func TestTimeSliceRotates(t *testing.T) {
 
 func TestTimeSliceCompletesWorkload(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	ts := &TimeSlice{Slots: 1, Quantum: 20}
 	ts.Attach(e, w)
 	launch(t, e, w, 0, "a", dlmodel.MNISTTensorFlow())
 	launch(t, e, w, 5, "b", dlmodel.GRU())
 	// Horizon generous: serialized execution plus parked trickle.
 	e.Run(2000)
-	for _, c := range w.Daemon().PS(true) {
+	for _, c := range d.PS(true) {
 		if !c.Workload().Done() {
 			t.Fatalf("container %s never finished under time slicing", c.Name())
 		}
@@ -80,7 +80,7 @@ func TestTimeSliceCompletesWorkload(t *testing.T) {
 
 func TestTimeSliceExitCleansRotation(t *testing.T) {
 	e := sim.NewEngine()
-	w := cluster.NewWorker("w", e, 1.0)
+	w, d := cluster.NewSimWorker("w", e, 1.0)
 	ts := &TimeSlice{Slots: 2, Quantum: 15}
 	ts.Attach(e, w)
 	launch(t, e, w, 0, "short", dlmodel.MNISTTensorFlow())
@@ -91,7 +91,7 @@ func TestTimeSliceExitCleansRotation(t *testing.T) {
 	e.Run(3000)
 	// All three finish despite rotation-list surgery on exit.
 	done := 0
-	for _, c := range w.Daemon().PS(true) {
+	for _, c := range d.PS(true) {
 		if c.Workload().Done() {
 			done++
 		}

@@ -3,56 +3,15 @@ package simdocker
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/runtime"
 )
 
-// Checkpoint is a frozen container: everything needed to resume the
-// workload on another daemon. It is the simulated equivalent of a CRIU
-// image (`docker checkpoint create` on an experimental engine) — the
-// fields mirror what a real migration would serialize (job identity,
-// progress, memory image), plus the growth-efficiency history the
-// cluster rebalancer attaches so the signal that justified the move
-// travels with the container.
-//
-// The workload itself rides along as a live reference: in this
-// in-process reproduction "serialization" is a change of ownership, and
-// carrying the object preserves the job's noise trajectory and delivered
-// work exactly. A checkpoint must be restored at most once.
-type Checkpoint struct {
-	// ID is the container id the checkpoint was taken from (the restored
-	// container gets a fresh id on the destination daemon).
-	ID string
-	// Name is the user-visible container name — the cluster's job label —
-	// which the restored container keeps.
-	Name string
-	// Image is the container's image reference; the destination daemon
-	// must have it pulled.
-	Image string
-	// CPULimit is the soft limit in (0,1] at freeze time.
-	CPULimit float64
-	// MemoryBytes is the resident footprint at freeze time — the size of
-	// the memory image a real migration would copy, which the migration
-	// cost model charges transfer time for.
-	MemoryBytes float64
-	// Work is the CPU work delivered to the workload before the freeze.
-	Work float64
-	// ProgressFrac is Work/(Work+Remaining) at freeze time, in [0, 1];
-	// NaN-free: 0 when neither quantity is knowable.
-	ProgressFrac float64
-	// GEHistory is the container's recent growth-efficiency trail (oldest
-	// first), attached by whoever decided the migration. The daemon does
-	// not populate it — growth efficiency is a policy-layer signal.
-	GEHistory []float64
-	// FrozenAt is the virtual time of the freeze.
-	FrozenAt sim.Time
-
-	// workload is the live workload, moved to the restoring daemon.
-	workload Workload
-	restored bool
-}
-
-// Workload exposes the frozen workload (tests inspect progress through it).
-func (cp *Checkpoint) Workload() Workload { return cp.workload }
+// Checkpoint is a frozen container ready to resume on another daemon —
+// the backend-neutral runtime.Checkpoint (see its doc for the field
+// semantics and the restore-at-most-once contract). The alias keeps the
+// historical simdocker.Checkpoint name compiling while letting a
+// snapshot frozen here thaw on any conforming runtime.
+type Checkpoint = runtime.Checkpoint
 
 // Checkpoint freezes a running container: accounting is settled, the
 // container exits (subscribers observe the departure, exactly as they
@@ -75,8 +34,8 @@ func (d *Daemon) Checkpoint(id string) (*Checkpoint, error) {
 		Image:       c.image,
 		CPULimit:    c.cpuLimit,
 		MemoryBytes: c.memBytes,
-		FrozenAt:    d.engine.Now(),
-		workload:    c.workload,
+		FrozenAt:    float64(d.engine.Now()),
+		Payload:     c.workload,
 	}
 	if wr, ok := c.workload.(interface{ Work() float64 }); ok {
 		cp.Work = wr.Work()
@@ -107,18 +66,18 @@ func (d *Daemon) Restore(cp *Checkpoint) (*Container, error) {
 	if cp == nil {
 		return nil, fmt.Errorf("simdocker: restore of nil checkpoint")
 	}
-	if cp.restored {
+	if cp.Restored() {
 		return nil, fmt.Errorf("simdocker: checkpoint of %s already restored", cp.Name)
 	}
 	c, err := d.Run(RunSpec{
 		Image:    cp.Image,
 		Name:     cp.Name,
-		Workload: cp.workload,
+		Workload: cp.Payload,
 		CPULimit: cp.CPULimit,
 	})
 	if err != nil {
 		return nil, err
 	}
-	cp.restored = true
+	cp.MarkRestored()
 	return c, nil
 }

@@ -19,9 +19,9 @@
 package simdocker
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/runtime"
 	"repro/internal/sim"
 )
 
@@ -51,34 +51,28 @@ func (s State) String() string {
 	}
 }
 
-// Errors returned by daemon operations.
+// Errors returned by daemon operations. Each wraps the backend-neutral
+// sentinel in internal/runtime (message bytes unchanged), so errors.Is
+// matches against either simdocker.ErrNotFound or runtime.ErrNotFound.
 var (
 	// ErrNotFound means no container with the given id exists.
-	ErrNotFound = errors.New("simdocker: no such container")
+	ErrNotFound = fmt.Errorf("simdocker: %w", runtime.ErrNotFound)
 	// ErrNotRunning means the operation needs a running container.
-	ErrNotRunning = errors.New("simdocker: container is not running")
+	ErrNotRunning = fmt.Errorf("simdocker: %w", runtime.ErrNotRunning)
 	// ErrNameInUse means a container with that name already exists.
-	ErrNameInUse = errors.New("simdocker: container name already in use")
+	ErrNameInUse = fmt.Errorf("simdocker: %w", runtime.ErrNameInUse)
 	// ErrNoImage means the referenced image has not been pulled.
-	ErrNoImage = errors.New("simdocker: no such image")
+	ErrNoImage = fmt.Errorf("simdocker: %w", runtime.ErrNoImage)
 	// ErrBadLimit means an update specified a limit outside (0, 1].
-	ErrBadLimit = errors.New("simdocker: cpu limit must be in (0,1]")
+	ErrBadLimit = fmt.Errorf("simdocker: %w", runtime.ErrBadLimit)
 )
 
 // Workload is the black-box process a container runs. FlowCon's contract
 // with a DL job is exactly this: it can be driven by CPU time, reports an
 // evaluation function value, and eventually finishes. *dlmodel.Job
-// satisfies it.
-type Workload interface {
-	// Advance delivers cpuSeconds of CPU work to the workload.
-	Advance(cpuSeconds float64)
-	// CPUDemand returns the CPU fraction the workload can use right now.
-	CPUDemand() float64
-	// Done reports whether the workload has finished.
-	Done() bool
-	// Eval returns the current evaluation-function value (loss/accuracy).
-	Eval() float64
-}
+// satisfies it. The contract is backend-neutral, so the type is shared
+// with every other runtime implementation.
+type Workload = runtime.Workload
 
 // ResourceProfiler is optionally implemented by workloads that model
 // memory/IO footprints; the daemon uses it to populate Stats for the

@@ -1,0 +1,52 @@
+#!/bin/sh
+# loadtest-smoke: boot a real flowcon-worker, drive its /v1 API with
+# concurrent submitters for a few seconds, and gate on zero errors plus a
+# bounded p99 submit latency. When a BENCH_sim.json is present the
+# latency fields are recorded additively on its newest entry (schema
+# stays 2; see docs/BENCH_SCHEMA.md).
+#
+# Env knobs: ADDR (:7177), SUBMITTERS (8), JOBS (25), P99_BUDGET (500ms).
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:7177}"
+SUBMITTERS="${SUBMITTERS:-8}"
+JOBS="${JOBS:-25}"
+P99_BUDGET="${P99_BUDGET:-500ms}"
+
+dir=$(mktemp -d)
+worker_pid=""
+cleanup() {
+    if [ -n "$worker_pid" ]; then
+        kill -TERM "$worker_pid" 2>/dev/null || true
+        wait "$worker_pid" 2>/dev/null || true
+    fi
+    rm -rf "$dir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$dir/flowcon-worker" ./cmd/flowcon-worker
+go build -o "$dir/loadtest" ./cmd/loadtest
+
+"$dir/flowcon-worker" -addr "$ADDR" >"$dir/worker.log" 2>&1 &
+worker_pid=$!
+
+bench_flag=""
+if [ -f BENCH_sim.json ]; then
+    bench_flag="-bench-out BENCH_sim.json"
+fi
+
+if ! "$dir/loadtest" -worker "http://$ADDR" \
+    -submitters "$SUBMITTERS" -jobs "$JOBS" \
+    -p99-budget "$P99_BUDGET" $bench_flag; then
+    echo "--- worker log ---"
+    cat "$dir/worker.log"
+    exit 1
+fi
+
+# Graceful-shutdown leg: SIGTERM must stop the worker cleanly.
+kill -TERM "$worker_pid"
+wait "$worker_pid" || { echo "worker did not exit cleanly"; cat "$dir/worker.log"; exit 1; }
+worker_pid=""
+grep -q "flowcon-worker: stopped" "$dir/worker.log" || {
+    echo "graceful shutdown message missing"; cat "$dir/worker.log"; exit 1; }
+echo "loadtest-smoke passed ($SUBMITTERS submitters x $JOBS jobs, p99 budget $P99_BUDGET, clean shutdown)"
