@@ -32,10 +32,13 @@ bench:
 # megacluster-smoke streaming run (1000 workers, ~50k lazily generated
 # arrivals), appended as a per-commit entry to BENCH_sim.json. Pass
 # MEGA=full for the complete ~1M-job megacluster day, MEGA=off to skip.
-# See README "Performance".
+# See README "Performance". SHARDS overrides the sharded runs' lane
+# count (default GOMAXPROCS) — on a one-core box pass SHARDS=8 to record
+# the epoch profile anyway.
 MEGA ?= smoke
+SHARDS ?=
 bench-json:
-	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_sim.json -mega $(MEGA)
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -out BENCH_sim.json -mega $(MEGA) $(if $(SHARDS),-shards $(SHARDS))
 
 # Regression gate against the committed BENCH_sim.json: meaningful on the
 # box that recorded the committed baseline (ns/op from different machines
@@ -82,6 +85,10 @@ determinism:
 	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 1 -shard-sim 8 > $$dir/sharded.out && \
 	cmp $$dir/serial.out $$dir/sharded.out && \
 	echo "scenario output is byte-identical at -shard-sim 1 and 8" && \
+	$$dir/flowcon-sim -scenario all -seeds 2 -parallel 1 -trace-out $$dir/spans.jsonl > $$dir/traced.out && \
+	cmp $$dir/serial.out $$dir/traced.out && \
+	test -s $$dir/spans.jsonl && \
+	echo "scenario output is byte-identical with lifecycle tracing on (spans exported)" && \
 	$$dir/flowcon-sim -scenario megacluster-smoke -seeds 1 > $$dir/mega-serial.out && \
 	$$dir/flowcon-sim -scenario megacluster-smoke -seeds 1 -shard-sim 8 > $$dir/mega-sharded.out && \
 	cmp $$dir/mega-serial.out $$dir/mega-sharded.out && \

@@ -157,13 +157,15 @@ func main() {
 	entry.Scenarios = append(entry.Scenarios, dense)
 	// The megacluster run exercises the streaming admission path at the
 	// ROADMAP's thousand-worker scale; its row is where the trajectory
-	// tracks sustained jobs/sec and the O(1)-workload memory claim.
+	// tracks sustained jobs/sec and the O(1)-workload memory claim. It
+	// runs sharded so the entry also records the epoch profile at that
+	// scale (on a one-core box pass -shards > 1 to exercise the epochs).
 	if mega != "off" {
 		name := "megacluster-smoke"
 		if mega == "full" {
 			name = "megacluster"
 		}
-		sr, err := runScenario(name, 1, metrics.TierSummary)
+		sr, err := runScenario(name, shards, metrics.TierSummary)
 		if err != nil {
 			fatalf("scenario (%s): %v", name, err)
 		}
@@ -294,6 +296,17 @@ func runScenario(name string, simShards int, tier metrics.Tier) (benchfile.Scena
 	}
 	if res.Makespan > 0 {
 		sr.JobsPerSimSec = float64(res.Submitted) / res.Makespan
+	}
+	// Sharded runs carry the executor's phase profile so the epoch-
+	// barrier work in the sharding roadmap item starts from measured
+	// numbers (serial runs have no profile).
+	if p := res.ShardProfile; p != nil {
+		sr.Epochs = p.Epochs
+		sr.BatchEvents = p.BatchEvents
+		sr.SerialEvents = p.SerialEvents
+		sr.SerialEpisodes = p.SerialEpisodes
+		sr.BarrierWaitSec = p.BarrierWaitSec
+		sr.MergeSec = p.MergeSec
 	}
 	if tier == metrics.TierDense {
 		sr.SketchErrP50, sr.SketchErrP95, sr.SketchErrP99 = sketchError(res.Collector)

@@ -5,12 +5,18 @@
 //
 //	flowcon-manager -worker http://localhost:7070 [-alpha 0.03]
 //	                [-itval 30s] [-poll 1s] [-duration 0] [-demo]
+//	                [-log-level info] [-log-format text]
 //
 // With -demo, the manager submits the paper's fixed three-job schedule
 // through the managed /v1/jobs surface (time-scaled 10x faster so the
 // demo lasts ~40s of wall time) and prints the per-container
 // classification and limits as FlowCon adapts them. -duration bounds the
 // run (0 = until interrupted).
+//
+// The status table header surfaces the worker's /v1/healthz report
+// (uptime, queue backpressure) alongside the driver state, so a glance
+// shows both sides of the control loop. Logging is structured (log/slog)
+// behind the shared -log-level / -log-format pair.
 package main
 
 import (
@@ -18,7 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -27,6 +33,7 @@ import (
 	"repro/internal/flowcon"
 	"repro/internal/realtime"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,7 +43,14 @@ func main() {
 	poll := flag.Duration("poll", time.Second, "listener poll period")
 	duration := flag.Duration("duration", 0, "total run time (0 = until interrupted)")
 	demo := flag.Bool("demo", false, "submit the demo workload (fixed schedule, 10x time-scaled)")
+	logLevel, logFormat := telemetry.LogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-manager:", err)
+		os.Exit(2)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -50,13 +64,14 @@ func main() {
 	// The worker may still be booting; retry with backoff before giving up.
 	pong, err := client.PingRetry(ctx, 5)
 	if err != nil {
-		log.Fatalf("flowcon-manager: worker unreachable: %v", err)
+		logger.Error("worker unreachable", "worker", *worker, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("connected to worker (capacity %.2f, %d running, %d queued)",
-		pong.Capacity, pong.Running, pong.Queued)
+	logger.Info("connected to worker",
+		"capacity", pong.Capacity, "running", pong.Running, "queued", pong.Queued)
 
 	if *demo {
-		go submitDemo(ctx, client)
+		go submitDemo(ctx, client, logger)
 	}
 
 	driver := realtime.NewDriver(flowcon.Config{
@@ -65,33 +80,33 @@ func main() {
 		InitialInterval: itval.Seconds(),
 	}, client)
 
-	go reportLoop(ctx, client, driver)
+	go reportLoop(ctx, client, driver, logger)
 
-	log.Printf("FlowCon driver running (alpha=%.0f%%, itval=%s)", *alpha*100, itval)
+	logger.Info("FlowCon driver running", "alpha", *alpha, "itval", *itval)
 	driver.Run(ctx, *poll)
-	log.Printf("stopped after %d Algorithm 1 runs", driver.Runs())
+	logger.Info("stopped", "algorithm1_runs", driver.Runs())
 }
 
 // submitDemo submits the fixed schedule at 10x speed through the managed
 // jobs surface: VAE at t=0, MNIST-PT at t=4s, MNIST-TF at t=8s. A full
 // worker queue backs off and retries rather than dropping the job.
-func submitDemo(ctx context.Context, c *agent.Client) {
+func submitDemo(ctx context.Context, c *agent.Client, logger *slog.Logger) {
 	submit := func(name, model string) {
 		for {
 			st, err := c.Submit(ctx, agent.SubmitRequest{Name: name, Model: model})
 			switch {
 			case err == nil:
-				log.Printf("demo: submitted %s (%s) -> %s", name, model, st.State)
+				logger.Info("demo: submitted", "name", name, "model", model, "state", st.State)
 				return
 			case errors.Is(err, runtime.ErrQueueFull):
-				log.Printf("demo: worker queue full, retrying %s", name)
+				logger.Warn("demo: worker queue full, retrying", "name", name)
 				select {
 				case <-ctx.Done():
 					return
 				case <-time.After(2 * time.Second):
 				}
 			default:
-				log.Printf("demo submit %s: %v", name, err)
+				logger.Error("demo submit failed", "name", name, "err", err)
 				return
 			}
 		}
@@ -111,8 +126,11 @@ func submitDemo(ctx context.Context, c *agent.Client) {
 	submit("mnist-tf", "MNIST (Tensorflow)")
 }
 
-// reportLoop prints a status table every few seconds.
-func reportLoop(ctx context.Context, c *agent.Client, d *realtime.Driver) {
+// reportLoop prints a status table every few seconds, headed by the
+// worker's health report (uptime, backpressure) so operator drift —
+// a draining worker, a saturated queue — is visible without a separate
+// scrape.
+func reportLoop(ctx context.Context, c *agent.Client, d *realtime.Driver, logger *slog.Logger) {
 	ticker := time.NewTicker(5 * time.Second)
 	defer ticker.Stop()
 	for {
@@ -122,11 +140,21 @@ func reportLoop(ctx context.Context, c *agent.Client, d *realtime.Driver) {
 		case <-ticker.C:
 			containers, err := c.Containers(ctx)
 			if err != nil {
-				log.Printf("status: %v", err)
+				logger.Warn("status poll failed", "err", err)
 				continue
 			}
-			fmt.Printf("--- %s (interval %.0fs, runs %d)\n",
-				time.Now().Format("15:04:05"), d.Interval(), d.Runs())
+			health := "health n/a"
+			if h, err := c.Healthz(ctx); err == nil {
+				health = fmt.Sprintf("up %.0fs", h.UptimeSec)
+				if h.Draining {
+					health += " DRAINING"
+				}
+				if h.Backpressure {
+					health += " BACKPRESSURE"
+				}
+			}
+			fmt.Printf("--- %s (interval %.0fs, runs %d, worker %s)\n",
+				time.Now().Format("15:04:05"), d.Interval(), d.Runs(), health)
 			for _, ci := range containers {
 				list := "-"
 				if l, ok := d.ListOf(ci.ID); ok {

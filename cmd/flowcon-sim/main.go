@@ -31,6 +31,10 @@
 // the summary default keeps O(jobs) online summaries; dense retains full
 // per-job series for trace and figure export. Experiment (figure) mode
 // always collects dense — figures re-plot raw samples by definition.
+// -observe prints the sharded-engine phase profile (epochs, serial
+// degrades, per-lane event counts, barrier/merge wall-time) per run, and
+// -trace-out writes every run's job-lifecycle spans as JSONL; both are
+// pure observers (see docs/OBSERVABILITY.md).
 // -cpuprofile/-memprofile capture pprof profiles in every mode (see the
 // README's Profiling subsection).
 // The cluster-scale scenario (256 workers, thousands of jobs) is the
@@ -71,6 +75,10 @@ func main() {
 		"per-run event-lane parallelism: worker lanes execute in parallel inside one simulation (0 = auto/GOMAXPROCS, 1 = serial engine); output is byte-identical at any value")
 	traceLevel := flag.String("trace-level", "summary",
 		"metric retention per run: summary (constant-memory online summaries, the default) or dense (full per-job series, O(jobs × makespan) memory); reports are identical either way")
+	observe := flag.Bool("observe", false,
+		"with -scenario/-replay: print the sharded-engine phase profile per run after the summary table (event counters are deterministic; wall-clock columns vary run to run)")
+	traceOut := flag.String("trace-out", "",
+		"with -scenario/-replay: write every run's job-lifecycle spans (submit → admit → place → run → migrate* → exit/fail) as JSONL into this file; tracing is a pure observer — simulation output is unchanged")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -121,11 +129,11 @@ func main() {
 		mode, allowed = "-scenario-list", map[string]bool{"scenario-list": true}
 	case *replay != "":
 		mode, allowed = "-replay", map[string]bool{"replay": true, "workers": true, "parallel": true,
-			"shard-sim": true, "trace-level": true}
+			"shard-sim": true, "trace-level": true, "observe": true, "trace-out": true}
 	case *scenario != "":
 		mode, allowed = "-scenario", map[string]bool{"scenario": true, "seeds": true, "record": true,
 			"parallel": true, "rebalance": true, "migration-cost": true, "shard-sim": true,
-			"trace-level": true}
+			"trace-level": true, "observe": true, "trace-out": true}
 	}
 	// The profiling flags apply to every mode.
 	allowed["cpuprofile"] = true
@@ -145,7 +153,7 @@ func main() {
 		return
 	}
 	if *replay != "" {
-		runReplay(*replay, *replayWorkers, *shardSim, tier)
+		runReplay(*replay, *replayWorkers, *shardSim, tier, *observe, *traceOut)
 		return
 	}
 	if *scenario != "" {
@@ -161,7 +169,7 @@ func main() {
 		applyMigrationFlags(scens, *rebalance, *migrationCost)
 		applyShardSim(scens, *shardSim)
 		applyTraceLevel(scens, tier)
-		runScenarios(scens, experiment.ScenarioSeeds(*seeds), *record)
+		runScenarios(scens, experiment.ScenarioSeeds(*seeds), *record, *observe, *traceOut)
 		return
 	}
 	args := flag.Args()
@@ -209,8 +217,10 @@ func usage() {
        flowcon-sim -scenario-list
        flowcon-sim [-parallel N] [-shard-sim N] [-seeds N] [-record dir]
                    [-rebalance] [-migration-cost sec] [-trace-level summary|dense]
+                   [-observe] [-trace-out spans.jsonl]
                    -scenario <name[,...]|all>
        flowcon-sim [-workers N] [-shard-sim N] [-trace-level summary|dense]
+                   [-observe] [-trace-out spans.jsonl]
                    -replay trace.jsonl
 
 -parallel N  sweeps runs across a worker pool; -shard-sim N parallelizes
@@ -218,8 +228,10 @@ inside each run (per-worker event lanes, 0 = auto/GOMAXPROCS, 1 = serial
 engine). Output is byte-identical at any width of either. -trace-level
 picks metric retention: summary (default) keeps constant-memory online
 summaries per job; dense keeps full series for trace export (experiment
-mode always runs dense — figures re-plot raw samples). -cpuprofile and
--memprofile write pprof profiles in every mode.
+mode always runs dense — figures re-plot raw samples). -observe prints
+the sharded-engine phase profile per run; -trace-out exports every run's
+job-lifecycle spans as JSONL (see docs/OBSERVABILITY.md). -cpuprofile
+and -memprofile write pprof profiles in every mode.
 
 experiments:
   fig1      training progress of five models (motivation)

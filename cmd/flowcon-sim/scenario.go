@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/migrate"
+	"repro/internal/plot"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -103,12 +106,114 @@ func applyTraceLevel(scens []experiment.Scenario, tier metrics.Tier) {
 	}
 }
 
+// applyTracer gives every selected scenario copy a fresh lifecycle
+// tracer per run (specs execute concurrently in sweeps — rings must not
+// be shared). Tracing is a pure observer; the summary table is
+// byte-identical with or without it.
+func applyTracer(scens []experiment.Scenario) {
+	for i := range scens {
+		scens[i].NewTracer = func() *telemetry.Tracer { return telemetry.NewTracer(0) }
+	}
+}
+
+// writeTraceOut exports every run's lifecycle spans into one JSONL file,
+// runs in spec order, each span labeled with its run name.
+func writeTraceOut(path string, outs []experiment.ScenarioOutcome) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+		os.Exit(1)
+	}
+	spans := 0
+	for _, o := range outs {
+		for _, res := range o.Results() {
+			if res.Tracer == nil {
+				continue
+			}
+			if err := res.Tracer.WriteJSONL(f, res.Name); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+				os.Exit(1)
+			}
+			spans += res.Tracer.Len()
+			if d := res.Tracer.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "flowcon-sim: %s: ring wrapped, oldest %d span(s) dropped\n", res.Name, d)
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
+		os.Exit(1)
+	}
+	// Stderr, not stdout: -trace-out must leave the determinism-gated
+	// scenario output untouched (make determinism compares it).
+	fmt.Fprintf(os.Stderr, "wrote %d lifecycle span(s) to %s\n", spans, path)
+}
+
+// reportProfiles renders the sharded-engine phase profile per run: where
+// the executor spent its epochs (batched vs serial-degraded events) and
+// its coordinator wall-clock (barrier wait, merge). Event counters are
+// deterministic for a given scenario/seed/shard count; the wall-clock
+// columns are measurements and vary run to run — -observe therefore
+// never participates in determinism comparisons. Serial-engine runs have
+// no profile and render as dashes.
+func reportProfiles(w io.Writer, outs []experiment.ScenarioOutcome) {
+	fmt.Fprintln(w, "Sharded-engine phase profile")
+	header := []string{"scenario", "seed", "shards", "epochs", "batch-ev", "serial-ev", "episodes", "barrier-ms", "merge-ms", "lane-imb"}
+	var rows [][]string
+	for _, o := range outs {
+		for i, r := range o.Reports {
+			if r.Result == nil {
+				continue
+			}
+			res := r.Result
+			row := []string{o.Scenario.Name, fmt.Sprintf("%d", o.Seeds[i]), fmt.Sprintf("%d", res.SimShards)}
+			p := res.ShardProfile
+			if p == nil {
+				row = append(row, "-", "-", "-", "-", "-", "-", "-")
+			} else {
+				row = append(row,
+					fmt.Sprintf("%d", p.Epochs),
+					fmt.Sprintf("%d", p.BatchEvents),
+					fmt.Sprintf("%d", p.SerialEvents),
+					fmt.Sprintf("%d", p.SerialEpisodes),
+					fmt.Sprintf("%.2f", p.BarrierWaitSec*1e3),
+					fmt.Sprintf("%.2f", p.MergeSec*1e3),
+					laneImbalance(p.LaneEvents),
+				)
+			}
+			rows = append(rows, row)
+		}
+	}
+	plot.Table(w, header, rows)
+}
+
+// laneImbalance is max/mean over per-lane batch event counts — 1.00 is a
+// perfectly balanced batch workload; high values mean the barrier waits
+// on one hot lane.
+func laneImbalance(lanes []int64) string {
+	var total, max int64
+	for _, n := range lanes {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 || len(lanes) == 0 {
+		return "-"
+	}
+	mean := float64(total) / float64(len(lanes))
+	return fmt.Sprintf("%.2f", float64(max)/mean)
+}
+
 // runScenarios executes the selected scenarios across the sweep pool and
 // renders the summary table. With -record dir it also writes each
 // (scenario, seed) schedule as a replayable JSONL trace; the recorded
 // schedules are the ones simulated — generation happens once and the
 // specs reuse it — so a trace always reproduces the run it sits next to.
-func runScenarios(scens []experiment.Scenario, seeds []int64, recordDir string) {
+// With -trace-out every run records lifecycle spans, exported as one
+// JSONL file after the sweep; -observe appends the phase-profile table.
+func runScenarios(scens []experiment.Scenario, seeds []int64, recordDir string, observe bool, traceOut string) {
 	if recordDir != "" {
 		if err := os.MkdirAll(recordDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
@@ -152,12 +257,21 @@ func runScenarios(scens []experiment.Scenario, seeds []int64, recordDir string) 
 		}
 		fmt.Printf("recorded %d trace(s) into %s\n", len(scens)*len(seeds), recordDir)
 	}
+	if traceOut != "" {
+		applyTracer(scens)
+	}
 	outs, err := experiment.RunScenarios(context.Background(), scens, seeds, experiment.SweepOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
 		os.Exit(1)
 	}
 	experiment.ReportScenario(os.Stdout, outs)
+	if traceOut != "" {
+		writeTraceOut(traceOut, outs)
+	}
+	if observe {
+		reportProfiles(os.Stdout, outs)
+	}
 }
 
 // recordTrace writes one schedule as a JSONL trace file. Record is
@@ -195,7 +309,7 @@ func recordStreamTrace(path string, s workload.ArrivalStream) error {
 
 // runReplay loads a recorded (or hand-written) JSONL trace and runs it as
 // a one-off scenario under the default FlowCon setting.
-func runReplay(path string, workers, shardSim int, tier metrics.Tier) {
+func runReplay(path string, workers, shardSim int, tier metrics.Tier, observe bool, traceOut string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowcon-sim:", err)
@@ -217,6 +331,9 @@ func runReplay(path string, workers, shardSim int, tier metrics.Tier) {
 	scens := []experiment.Scenario{scen}
 	applyShardSim(scens, shardSim)
 	applyTraceLevel(scens, tier)
+	if traceOut != "" {
+		applyTracer(scens)
+	}
 	outs, err := experiment.RunScenarios(context.Background(), scens,
 		[]int64{1}, experiment.SweepOptions{})
 	if err != nil {
@@ -225,4 +342,10 @@ func runReplay(path string, workers, shardSim int, tier metrics.Tier) {
 	}
 	fmt.Printf("replayed %s: %d jobs\n", path, len(subs))
 	experiment.ReportScenario(os.Stdout, outs)
+	if traceOut != "" {
+		writeTraceOut(traceOut, outs)
+	}
+	if observe {
+		reportProfiles(os.Stdout, outs)
+	}
 }

@@ -7,10 +7,16 @@
 //
 //	flowcon-worker [-addr :7070] [-capacity 1.0] [-settle 250ms]
 //	               [-max-running 0] [-queue-depth 16]
+//	               [-log-level info] [-log-format text]
 //
 // -max-running bounds concurrently running jobs admitted through
 // /v1/jobs (0 = unlimited); overflow queues up to -queue-depth deep, and
 // beyond that submissions get 429.
+//
+// The worker serves live telemetry on /v1/metrics (Prometheus text) and
+// /v1/healthz (readiness + backpressure); see docs/OBSERVABILITY.md.
+// Logging is structured (log/slog) behind the shared -log-level /
+// -log-format pair; per-request access logs appear at debug level.
 //
 // On SIGINT/SIGTERM the worker shuts down gracefully: it stops accepting
 // submissions (503), stops every running container, finishes in-flight
@@ -21,8 +27,10 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -30,6 +38,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/livedock"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,17 +47,26 @@ func main() {
 	settle := flag.Duration("settle", 250*time.Millisecond, "background accounting period")
 	maxRunning := flag.Int("max-running", 0, "max concurrently running jobs via /v1/jobs (0 = unlimited)")
 	queueDepth := flag.Int("queue-depth", 16, "admission queue depth before /v1/jobs returns 429")
+	logLevel, logFormat := telemetry.LogFlags(flag.CommandLine)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcon-worker:", err)
+		os.Exit(2)
+	}
 	if *capacity <= 0 {
-		log.Fatal("flowcon-worker: capacity must be positive")
+		logger.Error("capacity must be positive", "capacity", *capacity)
+		os.Exit(2)
 	}
 	if *maxRunning < 0 || *queueDepth < 0 {
-		log.Fatal("flowcon-worker: admission limits must be non-negative")
+		logger.Error("admission limits must be non-negative",
+			"max_running", *maxRunning, "queue_depth", *queueDepth)
+		os.Exit(2)
 	}
 	node := livedock.NewNode(*capacity)
 	node.OnExit(func(c runtime.Container) {
-		log.Printf("container %s (%s) exited", c.ID, c.Name)
+		logger.Info("container exited", "id", c.ID, "name", c.Name)
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -71,40 +89,42 @@ func main() {
 
 	srv := agent.NewServer(node, *capacity)
 	srv.SetAdmissionLimits(*maxRunning, *queueDepth)
-	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv.Handler())}
+	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(logger, srv.Handler())}
 
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		log.Print("flowcon-worker: shutting down")
+		logger.Info("flowcon-worker: shutting down")
 		// Graceful sequence: refuse new submissions, stop the containers,
 		// then let in-flight HTTP requests finish.
 		srv.Drain()
 		for _, c := range node.PS(false) {
 			if err := node.Stop(c.ID); err != nil {
-				log.Printf("flowcon-worker: stopping %s: %v", c.ID, err)
+				logger.Warn("stopping container", "id", c.ID, "err", err)
 			}
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("flowcon-worker: shutdown: %v", err)
+			logger.Warn("http shutdown", "err", err)
 		}
 	}()
 
-	log.Printf("flowcon-worker listening on %s (capacity %.2f)", *addr, *capacity)
+	logger.Info("flowcon-worker listening", "addr", *addr, "capacity", *capacity)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("flowcon-worker: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 	<-done
-	log.Print("flowcon-worker: stopped")
+	logger.Info("flowcon-worker: stopped")
 }
 
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
+// logRequests is a minimal access log at debug level — quiet by default,
+// -log-level debug turns it on.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		next.ServeHTTP(w, r)
-		log.Printf("%s %s", r.Method, r.URL.Path)
+		logger.Debug("request", "method", r.Method, "path", r.URL.Path)
 	})
 }

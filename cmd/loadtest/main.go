@@ -1,28 +1,35 @@
 // Command loadtest drives a flowcon-worker's /v1 submit surface with
-// concurrent submitters and reports the submit-latency distribution —
-// the CI loadtest-smoke gate (scripts/loadtest-smoke.sh boots a worker,
-// runs this against it, and fails on any error or a p99 over budget).
+// concurrent submitters and reports the per-phase latency breakdown
+// (connect / submit / status-poll) — the CI loadtest-smoke gate
+// (scripts/loadtest-smoke.sh boots a worker, runs this against it, and
+// fails on any error or a p99 submit latency over budget).
 //
 // Usage:
 //
 //	loadtest -worker http://localhost:7070 [-submitters 8] [-jobs 25]
 //	         [-model "MNIST (Pytorch)"] [-p99-budget 500ms]
-//	         [-bench-out BENCH_sim.json] [-cleanup]
+//	         [-bench-out BENCH_sim.json] [-assert-metrics] [-cleanup]
+//	         [-log-level info] [-log-format text]
 //
-// With -bench-out the latency fields are recorded additively on the
-// newest BENCH_sim.json entry (schema stays 2; see docs/BENCH_SCHEMA.md).
+// With -bench-out the latency fields (including the phase split) are
+// recorded additively on the newest BENCH_sim.json entry (schema stays
+// 2; see docs/BENCH_SCHEMA.md). With -assert-metrics the run scrapes the
+// worker's /v1/metrics afterwards and fails unless the agent-side submit
+// counters are consistent with what this client observed.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/benchfile"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,16 +39,26 @@ func main() {
 	model := flag.String("model", "MNIST (Pytorch)", "catalog model key to submit")
 	budget := flag.Duration("p99-budget", 0, "fail when p99 submit latency exceeds this (0 = no gate)")
 	benchOut := flag.String("bench-out", "", "record the result on the newest entry of this BENCH_sim.json (skipped when empty)")
+	assertMetrics := flag.Bool("assert-metrics", false,
+		"scrape /v1/metrics after the run and fail unless the worker's submit counters match this client's view")
 	cleanup := flag.Bool("cleanup", true, "cancel submitted jobs afterwards")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run budget")
+	logLevel, logFormat := telemetry.LogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(2)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	c := agent.NewClient(*worker, nil)
 	if _, err := c.PingRetry(ctx, 10); err != nil {
-		log.Fatalf("loadtest: worker unreachable: %v", err)
+		logger.Error("worker unreachable", "worker", *worker, "err", err)
+		os.Exit(1)
 	}
 
 	rep := agent.RunLoadTest(ctx, c, agent.LoadOptions{
@@ -51,25 +68,88 @@ func main() {
 		Cleanup:          *cleanup,
 	})
 	fmt.Printf("loadtest: %s\n", rep)
+	fmt.Printf("  connect:     %s\n", rep.Phases.Connect)
+	fmt.Printf("  submit:      %s\n", rep.Phases.Submit)
+	fmt.Printf("  status-poll: %s\n", rep.Phases.StatusPoll)
 
 	if *benchOut != "" {
 		if err := record(*benchOut, *submitters, rep); err != nil {
-			log.Printf("loadtest: recording to %s: %v", *benchOut, err)
+			logger.Warn("recording failed", "path", *benchOut, "err", err)
 		} else {
-			log.Printf("loadtest: recorded on newest entry of %s", *benchOut)
+			logger.Info("recorded on newest entry", "path", *benchOut)
 		}
 	}
 
 	if rep.Errors > 0 {
-		log.Fatalf("loadtest: %d submissions failed (first: %v)", rep.Errors, rep.FirstError)
+		logger.Error("submissions failed", "errors", rep.Errors, "first", rep.FirstError)
+		os.Exit(1)
 	}
 	if *budget > 0 && rep.P99 > *budget {
-		log.Fatalf("loadtest: p99 %s exceeds budget %s", rep.P99, *budget)
+		logger.Error("p99 over budget", "p99", rep.P99, "budget", *budget)
+		os.Exit(1)
+	}
+	if *assertMetrics {
+		if err := checkMetrics(ctx, c, rep); err != nil {
+			logger.Error("metrics assertion failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("worker metrics consistent with client view", "submits", rep.Submitted)
 	}
 	os.Exit(0)
 }
 
-// record attaches the latency fields to the newest BENCH_sim.json entry.
+// checkMetrics scrapes the worker's /v1/metrics and cross-checks the
+// agent-side counters against what this client measured: the worker must
+// have counted at least our accepted submissions (at least — the worker
+// may have served other clients or earlier runs) and the latency summary
+// must have observed every one of them.
+func checkMetrics(ctx context.Context, c *agent.Client, rep agent.LoadReport) error {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("scraping /v1/metrics: %w", err)
+	}
+	submits, err := sampleValue(text, "flowcon_agent_submits_total")
+	if err != nil {
+		return err
+	}
+	if submits <= 0 || submits < float64(rep.Submitted) {
+		return fmt.Errorf("flowcon_agent_submits_total = %g, want >= %d accepted submissions",
+			submits, rep.Submitted)
+	}
+	latCount, err := sampleValue(text, "flowcon_agent_submit_latency_seconds_count")
+	if err != nil {
+		return err
+	}
+	if latCount != submits {
+		return fmt.Errorf("latency summary count %g != submits_total %g", latCount, submits)
+	}
+	queued, err := sampleValue(text, "flowcon_agent_submits_queued_total")
+	if err != nil {
+		return err
+	}
+	if queued < float64(rep.Queued) {
+		return fmt.Errorf("flowcon_agent_submits_queued_total = %g, want >= %d", queued, rep.Queued)
+	}
+	return nil
+}
+
+// sampleValue extracts one sample's value from a Prometheus text
+// exposition by its exact name (including any label set).
+func sampleValue(text, sample string) (float64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return 0, fmt.Errorf("parsing %s value %q: %w", sample, rest, err)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("sample %s missing from scrape", sample)
+}
+
+// record attaches the latency fields, phase split included, to the
+// newest BENCH_sim.json entry.
 func record(path string, submitters int, rep agent.LoadReport) error {
 	doc, err := benchfile.Load(path)
 	if err != nil {
@@ -79,6 +159,15 @@ func record(path string, submitters int, rep agent.LoadReport) error {
 		return fmt.Errorf("no entries to attach to")
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	phase := func(p agent.PhaseStats) benchfile.LoadtestPhase {
+		return benchfile.LoadtestPhase{
+			Count: p.Count,
+			P50Ms: ms(p.P50),
+			P95Ms: ms(p.P95),
+			P99Ms: ms(p.P99),
+			MaxMs: ms(p.Max),
+		}
+	}
 	doc.Entries[len(doc.Entries)-1].Loadtest = &benchfile.LoadtestResult{
 		Submitters: submitters,
 		Jobs:       rep.Submitted + rep.Errors,
@@ -88,6 +177,11 @@ func record(path string, submitters int, rep agent.LoadReport) error {
 		P99Ms:      ms(rep.P99),
 		MaxMs:      ms(rep.Max),
 		WallSec:    rep.Elapsed.Seconds(),
+		Phases: &benchfile.LoadtestPhases{
+			Connect:    phase(rep.Phases.Connect),
+			Submit:     phase(rep.Phases.Submit),
+			StatusPoll: phase(rep.Phases.StatusPoll),
+		},
 	}
 	return doc.Write(path)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -156,6 +157,53 @@ func (c *Client) Containers(ctx context.Context) ([]ContainerInfo, error) {
 	var out []ContainerInfo
 	err := c.get(ctx, "/v1/containers", &out)
 	return out, err
+}
+
+// Metrics fetches the agent's Prometheus text exposition verbatim — the
+// scrape surface, not a JSON endpoint, so it bypasses the JSON decode
+// path and returns the raw body.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("agent: GET /v1/metrics: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("agent: GET /v1/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: resp.Status, Path: "/v1/metrics"}
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("agent: reading /v1/metrics: %w", err)
+	}
+	return string(raw), nil
+}
+
+// Healthz fetches the agent's readiness report. A draining agent answers
+// 503 but still sends the full HealthResponse — that is data, not a
+// transport failure, so the body is decoded and returned without error;
+// only transport problems and unexpected statuses fail.
+func (c *Client) Healthz(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return out, fmt.Errorf("agent: GET /v1/healthz: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("agent: GET /v1/healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return out, &APIError{Status: resp.StatusCode, Message: resp.Status, Path: "/v1/healthz"}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("agent: decoding /v1/healthz response: %w", err)
+	}
+	return out, nil
 }
 
 // Submit admits a job through the managed surface. A free slot launches

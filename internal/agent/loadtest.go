@@ -25,18 +25,47 @@ type LoadOptions struct {
 	Cleanup bool
 }
 
+// PhaseStats is one phase's wall-clock latency distribution.
+type PhaseStats struct {
+	// Count is the number of round trips the phase measured.
+	Count              int
+	P50, P95, P99, Max time.Duration
+}
+
+// String renders the phase as one summary fragment.
+func (p PhaseStats) String() string {
+	return fmt.Sprintf("n=%d p50=%s p95=%s p99=%s max=%s", p.Count, p.P50, p.P95, p.P99, p.Max)
+}
+
+// PhaseBreakdown splits the load-test round trip into its phases:
+// Connect (one /v1/ping per submitter before its submissions), Submit
+// (the POST /v1/jobs admissions), and StatusPoll (one GET
+// /v1/jobs/{name} after each accepted submission). A fat end-to-end
+// histogram cannot say whether the worker is slow to admit or slow to
+// answer reads; the split can.
+type PhaseBreakdown struct {
+	Connect    PhaseStats
+	Submit     PhaseStats
+	StatusPoll PhaseStats
+}
+
 // LoadReport is the outcome of one load-test run: error counts and the
-// submit-latency distribution a smoke gate asserts on.
+// per-phase latency distributions a smoke gate asserts on.
 type LoadReport struct {
 	// Submitted counts successful submissions; Queued of those entered
 	// the admission queue instead of launching immediately.
 	Submitted int
 	Queued    int
-	// Errors counts failed submissions; FirstError is the first one seen.
+	// Errors counts failed round trips in any phase (connect, submit or
+	// status poll); FirstError is the first one seen.
 	Errors     int
 	FirstError error
-	// P50/P95/P99/Max summarize the submit round-trip latency.
+	// P50/P95/P99/Max summarize the submit round-trip latency — the
+	// Submit phase of Phases, kept at top level so pre-breakdown
+	// consumers (and BENCH_sim.json history) stay comparable.
 	P50, P95, P99, Max time.Duration
+	// Phases is the per-phase latency breakdown.
+	Phases PhaseBreakdown
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
 }
@@ -69,19 +98,27 @@ func RunLoadTest(ctx context.Context, c *Client, opts LoadOptions) LoadReport {
 	type sample struct {
 		d      time.Duration
 		queued bool
+		taken  bool
 		err    error
 		name   string
 	}
+	connects := make([]sample, opts.Submitters)
 	samples := make([]sample, opts.Submitters*opts.JobsPerSubmitter)
+	polls := make([]sample, opts.Submitters*opts.JobsPerSubmitter)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Submitters; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Connect phase: one ping per submitter before its load, the
+			// cost of reaching the worker at all.
+			t0 := time.Now()
+			_, err := c.Ping(ctx)
+			connects[w] = sample{d: time.Since(t0), taken: true, err: err}
 			for i := 0; i < opts.JobsPerSubmitter; i++ {
 				if ctx.Err() != nil {
-					samples[w*opts.JobsPerSubmitter+i] = sample{err: ctx.Err()}
+					samples[w*opts.JobsPerSubmitter+i] = sample{taken: true, err: ctx.Err()}
 					continue
 				}
 				name := fmt.Sprintf("%s-%d-%d", opts.NamePrefix, w, i)
@@ -90,37 +127,71 @@ func RunLoadTest(ctx context.Context, c *Client, opts LoadOptions) LoadReport {
 				samples[w*opts.JobsPerSubmitter+i] = sample{
 					d:      time.Since(t0),
 					queued: err == nil && st.State == "queued",
+					taken:  true,
 					err:    err,
 					name:   name,
 				}
+				if err != nil {
+					continue
+				}
+				// Status-poll phase: read back what was just admitted, the
+				// cost of the observer path under the same load.
+				t0 = time.Now()
+				_, err = c.JobStatus(ctx, name)
+				polls[w*opts.JobsPerSubmitter+i] = sample{d: time.Since(t0), taken: true, err: err}
 			}
 		}(w)
 	}
 	wg.Wait()
 
 	rep := LoadReport{Elapsed: time.Since(start)}
-	var lat []time.Duration
-	for _, s := range samples {
+	countErr := func(err error) {
+		rep.Errors++
+		if rep.FirstError == nil {
+			rep.FirstError = err
+		}
+	}
+	var connectLat, submitLat, pollLat []time.Duration
+	for _, s := range connects {
 		if s.err != nil {
-			rep.Errors++
-			if rep.FirstError == nil {
-				rep.FirstError = s.err
-			}
+			countErr(s.err)
+			continue
+		}
+		connectLat = append(connectLat, s.d)
+	}
+	for _, s := range samples {
+		if !s.taken {
+			continue
+		}
+		if s.err != nil {
+			countErr(s.err)
 			continue
 		}
 		rep.Submitted++
 		if s.queued {
 			rep.Queued++
 		}
-		lat = append(lat, s.d)
+		submitLat = append(submitLat, s.d)
 	}
-	if len(lat) > 0 {
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		rep.P50 = percentile(lat, 0.50)
-		rep.P95 = percentile(lat, 0.95)
-		rep.P99 = percentile(lat, 0.99)
-		rep.Max = lat[len(lat)-1]
+	for _, s := range polls {
+		if !s.taken {
+			continue
+		}
+		if s.err != nil {
+			countErr(s.err)
+			continue
+		}
+		pollLat = append(pollLat, s.d)
 	}
+	rep.Phases = PhaseBreakdown{
+		Connect:    phaseStats(connectLat),
+		Submit:     phaseStats(submitLat),
+		StatusPoll: phaseStats(pollLat),
+	}
+	rep.P50 = rep.Phases.Submit.P50
+	rep.P95 = rep.Phases.Submit.P95
+	rep.P99 = rep.Phases.Submit.P99
+	rep.Max = rep.Phases.Submit.Max
 
 	if opts.Cleanup {
 		for _, s := range samples {
@@ -130,6 +201,21 @@ func RunLoadTest(ctx context.Context, c *Client, opts LoadOptions) LoadReport {
 		}
 	}
 	return rep
+}
+
+// phaseStats summarizes one phase's latency samples.
+func phaseStats(lat []time.Duration) PhaseStats {
+	if len(lat) == 0 {
+		return PhaseStats{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return PhaseStats{
+		Count: len(lat),
+		P50:   percentile(lat, 0.50),
+		P95:   percentile(lat, 0.95),
+		P99:   percentile(lat, 0.99),
+		Max:   lat[len(lat)-1],
+	}
 }
 
 // percentile reads the p-th quantile (nearest-rank) from a sorted slice.

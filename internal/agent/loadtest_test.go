@@ -35,6 +35,20 @@ func TestRunLoadTest(t *testing.T) {
 	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
 		t.Fatalf("latency distribution out of order: %s", rep)
 	}
+	// The phase breakdown: one connect ping per submitter, one submit
+	// and one status poll per accepted job, and the legacy top-level
+	// percentiles must be exactly the submit phase.
+	ph := rep.Phases
+	if ph.Connect.Count != 4 || ph.Submit.Count != 40 || ph.StatusPoll.Count != 40 {
+		t.Fatalf("phase counts = %d/%d/%d, want 4/40/40",
+			ph.Connect.Count, ph.Submit.Count, ph.StatusPoll.Count)
+	}
+	if ph.Connect.P50 <= 0 || ph.StatusPoll.P50 <= 0 {
+		t.Fatalf("phase latencies missing: %+v", ph)
+	}
+	if rep.P50 != ph.Submit.P50 || rep.P99 != ph.Submit.P99 || rep.Max != ph.Submit.Max {
+		t.Fatalf("top-level percentiles diverge from submit phase: %s vs %+v", rep, ph.Submit)
+	}
 	if n := node.RunningCount(); n != 0 {
 		t.Fatalf("cleanup left %d containers running", n)
 	}

@@ -1,0 +1,201 @@
+package agent
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// serverMetrics is the agent's live telemetry state: monotone counters
+// plus a streaming submit-latency sketch, guarded by their own mutex so
+// counting never interacts with the admission lock. All counters are
+// process-lifetime (a scrape sees totals since the agent started).
+type serverMetrics struct {
+	mu        sync.Mutex
+	startedAt time.Time
+	// clock is time.Now in production; tests pin it for golden output.
+	clock func() time.Time
+
+	// submits counts accepted submissions (201 launched + 202 queued);
+	// queued counts the 202 subset.
+	submits int64
+	queued  int64
+	// exited counts containers retired on this node (the OnExit hook).
+	exited int64
+	// rejections counts admission refusals by reason ("queue_full",
+	// "draining"). Rejections also appear in errors under the same code.
+	rejections map[string]int64
+	// errors counts every error envelope written, by code.
+	errors map[string]int64
+
+	// lat sketches accepted-submission round-trip latency in seconds
+	// (decode → launch/queue decision), within stats.DefaultSketchAccuracy
+	// relative error; sum tracks the exact total for the summary's _sum.
+	lat *stats.QuantileSketch
+	sum float64
+}
+
+func newServerMetrics() *serverMetrics {
+	m := &serverMetrics{
+		clock:      time.Now,
+		rejections: map[string]int64{CodeQueueFull: 0, CodeDraining: 0},
+		errors:     make(map[string]int64),
+		lat:        stats.NewQuantileSketch(stats.DefaultSketchAccuracy),
+	}
+	m.startedAt = m.clock()
+	return m
+}
+
+func (m *serverMetrics) countError(code string) {
+	m.mu.Lock()
+	m.errors[code]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countRejection(code string) {
+	m.mu.Lock()
+	m.rejections[code]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) countExit() {
+	m.mu.Lock()
+	m.exited++
+	m.mu.Unlock()
+}
+
+// observeSubmit records one accepted submission and its latency.
+func (m *serverMetrics) observeSubmit(d time.Duration, queued bool) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	m.submits++
+	if queued {
+		m.queued++
+	}
+	m.lat.Add(sec)
+	m.sum += sec
+	m.mu.Unlock()
+}
+
+// HealthResponse is the /v1/healthz body — served with 200 while the
+// agent accepts submissions and 503 once draining, and always carrying
+// the full readiness/backpressure picture either way.
+type HealthResponse struct {
+	OK    bool `json:"ok"`
+	Ready bool `json:"ready"`
+	// UptimeSec is seconds since the agent process started serving.
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+	Running   int     `json:"running"`
+	Queued    int     `json:"queued"`
+	// QueueDepth/MaxRunning echo the admission limits (0 = unlimited).
+	QueueDepth int `json:"queue_depth"`
+	MaxRunning int `json:"max_running"`
+	// Backpressure reports that the admission queue is full: the next
+	// submission gets 429 until a slot frees.
+	Backpressure bool `json:"backpressure"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	queued, depth, maxRunning, draining := len(s.queue), s.queueDepth, s.maxRunning, s.draining
+	s.mu.Unlock()
+	s.met.mu.Lock()
+	uptime := s.met.clock().Sub(s.met.startedAt).Seconds()
+	s.met.mu.Unlock()
+	resp := HealthResponse{
+		OK:           true,
+		Ready:        !draining,
+		UptimeSec:    uptime,
+		Draining:     draining,
+		Running:      s.node.RunningCount(),
+		Queued:       queued,
+		QueueDepth:   depth,
+		MaxRunning:   maxRunning,
+		Backpressure: depth > 0 && queued >= depth,
+	}
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics renders the Prometheus text exposition (format 0.0.4).
+// Gauges are read live; counters come from serverMetrics; the submit
+// latency is a summary backed by the streaming quantile sketch (quantile
+// lines appear once at least one submission was observed).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	queued, draining := len(s.queue), s.draining
+	s.mu.Unlock()
+	running := s.node.RunningCount()
+
+	m := s.met
+	m.mu.Lock()
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("flowcon_agent_uptime_seconds", "Seconds since the agent started serving.",
+		m.clock().Sub(m.startedAt).Seconds())
+	gauge("flowcon_agent_capacity_cores", "Node CPU capacity in cores.", s.capacity)
+	gauge("flowcon_agent_jobs_running", "Containers currently running.", float64(running))
+	gauge("flowcon_agent_jobs_queued", "Submissions waiting in the admission queue.", float64(queued))
+	gauge("flowcon_agent_draining", "1 while the agent rejects new submissions for shutdown.",
+		boolGauge(draining))
+
+	fmt.Fprintf(&b, "# HELP flowcon_agent_containers_exited_total Containers retired on this node.\n"+
+		"# TYPE flowcon_agent_containers_exited_total counter\n"+
+		"flowcon_agent_containers_exited_total %d\n", m.exited)
+	fmt.Fprintf(&b, "# HELP flowcon_agent_submits_total Accepted job submissions (launched or queued).\n"+
+		"# TYPE flowcon_agent_submits_total counter\n"+
+		"flowcon_agent_submits_total %d\n", m.submits)
+	fmt.Fprintf(&b, "# HELP flowcon_agent_submits_queued_total Accepted submissions that entered the queue.\n"+
+		"# TYPE flowcon_agent_submits_queued_total counter\n"+
+		"flowcon_agent_submits_queued_total %d\n", m.queued)
+
+	b.WriteString("# HELP flowcon_agent_submit_rejections_total Admission refusals by reason.\n" +
+		"# TYPE flowcon_agent_submit_rejections_total counter\n")
+	for _, reason := range []string{CodeDraining, CodeQueueFull} {
+		fmt.Fprintf(&b, "flowcon_agent_submit_rejections_total{reason=%q} %d\n", reason, m.rejections[reason])
+	}
+
+	b.WriteString("# HELP flowcon_agent_errors_total Error envelopes written, by code.\n" +
+		"# TYPE flowcon_agent_errors_total counter\n")
+	codes := make([]string, 0, len(m.errors))
+	for code := range m.errors {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&b, "flowcon_agent_errors_total{code=%q} %d\n", code, m.errors[code])
+	}
+
+	b.WriteString("# HELP flowcon_agent_submit_latency_seconds Accepted-submission handling latency.\n" +
+		"# TYPE flowcon_agent_submit_latency_seconds summary\n")
+	if n := m.lat.Count(); n > 0 {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "flowcon_agent_submit_latency_seconds{quantile=\"%g\"} %g\n", q, m.lat.Quantile(q))
+		}
+	}
+	fmt.Fprintf(&b, "flowcon_agent_submit_latency_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(&b, "flowcon_agent_submit_latency_seconds_count %d\n", m.lat.Count())
+	m.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -168,6 +168,10 @@ type Server struct {
 	// draining rejects new submissions with 503 while shutdown stops the
 	// running containers.
 	draining bool
+
+	// met is the live telemetry state served by /v1/metrics and
+	// /v1/healthz (see metrics.go).
+	met *serverMetrics
 }
 
 // NewServer wraps the node (of the given capacity, echoed in /v1/ping).
@@ -181,8 +185,11 @@ func NewServer(node *livedock.Node, capacity float64) *Server {
 		capacity: capacity,
 		mux:      http.NewServeMux(),
 		failed:   make(map[string]string),
+		met:      newServerMetrics(),
 	}
 	s.mux.HandleFunc("GET /v1/ping", s.handlePing)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/containers", s.handleList)
 	s.mux.HandleFunc("POST /v1/containers", s.handleLaunch)
@@ -194,7 +201,10 @@ func NewServer(node *livedock.Node, capacity float64) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{name}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/jobs/{name}/stop", s.handleJobStop)
 	// Exits free capacity: admit queued jobs the moment a slot opens.
-	node.OnExit(func(runtime.Container) { s.admitQueued() })
+	node.OnExit(func(runtime.Container) {
+		s.met.countExit()
+		s.admitQueued()
+	})
 	return s
 }
 
@@ -293,20 +303,20 @@ func (s *Server) launchModel(name, model string, limit float64) (runtime.Contain
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	var req LaunchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.Name == "" || req.Model == "" {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("name and model are required"))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("name and model are required"))
 		return
 	}
 	if _, ok := dlmodel.Find(req.Model); !ok {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown model %q", req.Model))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
 	v, err := s.launchModel(req.Name, req.Model, req.CPULimit)
 	if err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, LaunchResponse{ID: v.ID})
@@ -314,7 +324,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if err := s.node.Remove(r.PathValue("id")); err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -323,11 +333,11 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if err := s.node.SetCPULimit(r.PathValue("id"), req.CPULimit); err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -335,7 +345,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
 	if err := s.node.Stop(r.PathValue("id")); err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -344,30 +354,32 @@ func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
 // handleSubmit is the managed admission path: launch if a slot is free,
 // queue if the queue has room, 429 otherwise, 503 while draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := s.met.clock()
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.Name == "" || req.Model == "" {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("name and model are required"))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("name and model are required"))
 		return
 	}
 	if _, ok := dlmodel.Find(req.Model); !ok {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown model %q", req.Model))
+		s.writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, CodeDraining,
+		s.met.countRejection(CodeDraining)
+		s.writeErr(w, http.StatusServiceUnavailable, CodeDraining,
 			fmt.Errorf("agent is draining: %w", runtime.ErrDraining))
 		return
 	}
 	for _, q := range s.queue {
 		if q.name == req.Name {
 			s.mu.Unlock()
-			writeErr(w, http.StatusConflict, CodeNameInUse,
+			s.writeErr(w, http.StatusConflict, CodeNameInUse,
 				fmt.Errorf("job %q is already queued: %w", req.Name, runtime.ErrNameInUse))
 			return
 		}
@@ -375,22 +387,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	delete(s.failed, req.Name)
 	if s.maxRunning > 0 && s.node.RunningCount() >= s.maxRunning {
 		if len(s.queue) >= s.queueDepth {
+			depth := s.queueDepth
 			s.mu.Unlock()
-			writeErr(w, http.StatusTooManyRequests, CodeQueueFull,
-				fmt.Errorf("%d jobs already queued: %w", s.queueDepth, runtime.ErrQueueFull))
+			s.met.countRejection(CodeQueueFull)
+			s.writeErr(w, http.StatusTooManyRequests, CodeQueueFull,
+				fmt.Errorf("%d jobs already queued: %w", depth, runtime.ErrQueueFull))
 			return
 		}
 		s.queue = append(s.queue, queuedJob{name: req.Name, model: req.Model, limit: req.CPULimit})
 		s.mu.Unlock()
+		s.met.observeSubmit(s.met.clock().Sub(start), true)
 		writeJSON(w, http.StatusAccepted, JobStatus{Name: req.Name, Model: req.Model, State: "queued"})
 		return
 	}
 	s.mu.Unlock()
 	v, err := s.launchModel(req.Name, req.Model, req.CPULimit)
 	if err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
+	s.met.observeSubmit(s.met.clock().Sub(start), false)
 	writeJSON(w, http.StatusCreated, jobStatusOf(req.Name, req.Model, v))
 }
 
@@ -459,7 +475,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	st, ok := s.jobByName(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, CodeNotFound,
+		s.writeErr(w, http.StatusNotFound, CodeNotFound,
 			fmt.Errorf("job %q: %w", name, runtime.ErrNotFound))
 		return
 	}
@@ -490,16 +506,16 @@ func (s *Server) handleJobStop(w http.ResponseWriter, r *http.Request) {
 func (s *Server) stopJob(w http.ResponseWriter, name string) {
 	c, err := s.node.Lookup(name)
 	if err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	if err := s.node.Stop(c.ID); err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	c, err = s.node.Lookup(name)
 	if err != nil {
-		writeRuntimeErr(w, err)
+		s.writeRuntimeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobStatusOf(name, c.Model, c))
@@ -512,23 +528,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeRuntimeErr maps a runtime-layer error to its HTTP status and code.
-func writeRuntimeErr(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, runtime.ErrNotFound):
-		writeErr(w, http.StatusNotFound, CodeNotFound, err)
-	case errors.Is(err, runtime.ErrNotRunning):
-		writeErr(w, http.StatusConflict, CodeNotRunning, err)
-	case errors.Is(err, runtime.ErrNameInUse):
-		writeErr(w, http.StatusConflict, CodeNameInUse, err)
-	case errors.Is(err, runtime.ErrBadLimit):
-		writeErr(w, http.StatusConflict, CodeBadLimit, err)
-	default:
-		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
-	}
+// writeErr writes the JSON error envelope and counts it in the per-code
+// error metrics.
+func (s *Server) writeErr(w http.ResponseWriter, status int, code string, err error) {
+	s.met.countError(code)
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
-// writeErr writes the JSON error envelope.
-func writeErr(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+// writeRuntimeErr maps a runtime-layer error to its HTTP status and code.
+func (s *Server) writeRuntimeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, runtime.ErrNotFound):
+		s.writeErr(w, http.StatusNotFound, CodeNotFound, err)
+	case errors.Is(err, runtime.ErrNotRunning):
+		s.writeErr(w, http.StatusConflict, CodeNotRunning, err)
+	case errors.Is(err, runtime.ErrNameInUse):
+		s.writeErr(w, http.StatusConflict, CodeNameInUse, err)
+	case errors.Is(err, runtime.ErrBadLimit):
+		s.writeErr(w, http.StatusConflict, CodeBadLimit, err)
+	default:
+		s.writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+	}
 }

@@ -74,6 +74,20 @@ type ScenarioResult struct {
 	SketchErrP50 float64 `json:"sketch_err_p50,omitempty"`
 	SketchErrP95 float64 `json:"sketch_err_p95,omitempty"`
 	SketchErrP99 float64 `json:"sketch_err_p99,omitempty"`
+	// Epochs through MergeSec are the sharded executor's phase profile
+	// (sim.ShardProfile), recorded only for sharded runs (omitted when
+	// SimShards is 1): parallel epochs executed, events executed inside
+	// batches vs stepped serially, serial-degrade episodes, and the
+	// coordinator wall-clock spent blocked on the epoch barrier and in
+	// the post-batch merge. The wall-clock pair is where the "multi-core
+	// sharded scaling" roadmap work measures its starting overhead; the
+	// event counters are deterministic for a scenario/seed/shard triple.
+	Epochs         int64   `json:"epochs,omitempty"`
+	BatchEvents    int64   `json:"batch_events,omitempty"`
+	SerialEvents   int64   `json:"serial_events,omitempty"`
+	SerialEpisodes int64   `json:"serial_episodes,omitempty"`
+	BarrierWaitSec float64 `json:"barrier_wait_sec,omitempty"`
+	MergeSec       float64 `json:"merge_sec,omitempty"`
 }
 
 // LoadtestResult is one /v1 API load-test data point: concurrent
@@ -89,13 +103,39 @@ type LoadtestResult struct {
 	Jobs int `json:"jobs"`
 	// Errors counts failed submissions (0 is the smoke gate).
 	Errors int `json:"errors"`
-	// P50/P95/P99/Max are submit-latency percentiles in milliseconds.
+	// P50/P95/P99/Max are submit-latency percentiles in milliseconds —
+	// the submit phase of Phases, duplicated here so entries stay
+	// comparable with pre-phase-breakdown history.
 	P50Ms float64 `json:"p50_ms"`
 	P95Ms float64 `json:"p95_ms"`
 	P99Ms float64 `json:"p99_ms"`
 	MaxMs float64 `json:"max_ms"`
 	// WallSec is the wall-clock duration of the whole run.
 	WallSec float64 `json:"wall_sec"`
+	// Phases breaks the round trip into connect / submit / status-poll
+	// latency distributions. Additive and omitempty: entries recorded
+	// before the breakdown stay valid.
+	Phases *LoadtestPhases `json:"phases,omitempty"`
+}
+
+// LoadtestPhases is the per-phase latency breakdown of a load-test run:
+// connect (one /v1/ping per submitter before the load), submit (POST
+// /v1/jobs round trips), and status-poll (GET /v1/jobs/{name} after each
+// accepted submission).
+type LoadtestPhases struct {
+	Connect    LoadtestPhase `json:"connect"`
+	Submit     LoadtestPhase `json:"submit"`
+	StatusPoll LoadtestPhase `json:"status_poll"`
+}
+
+// LoadtestPhase is one phase's wall-clock latency distribution in
+// milliseconds.
+type LoadtestPhase struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
 }
 
 // Entry is one per-commit data point of the trajectory.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/simdocker"
+	"repro/internal/telemetry"
 )
 
 // Default image references pre-pulled onto every worker, one per framework
@@ -373,6 +374,13 @@ type Manager struct {
 	// a running or queued job).
 	migrated int
 
+	// tracer, when set, receives one lifecycle span per admission step
+	// (submit/queue/admit/place, plus migrate and fail). It is a pure
+	// observer — never read back — and a nil tracer costs one branch.
+	// Manager events always execute on the simulation's serial lane, so
+	// m.engine.Now() is the correct sim stamp at every hook site.
+	tracer *telemetry.Tracer
+
 	// checkpointInterval, when positive, enables checkpoint-based
 	// recovery: jobs persist their progress every interval of delivered
 	// CPU work, and a job lost to a worker failure resumes from its last
@@ -419,6 +427,21 @@ func NewManager(engine *sim.Engine, workers []*Worker, placement Placement) *Man
 // Workers returns the managed workers.
 func (m *Manager) Workers() []*Worker { return m.workers }
 
+// SetTracer attaches a lifecycle tracer to the manager (nil detaches).
+// Attach before the run starts; spans cover submissions from then on.
+func (m *Manager) SetTracer(t *telemetry.Tracer) { m.tracer = t }
+
+// Tracer returns the attached lifecycle tracer, nil when tracing is off.
+// Policies wired onto the manager (the rebalancer) use this to emit their
+// own spans into the same ring.
+func (m *Manager) Tracer() *telemetry.Tracer { return m.tracer }
+
+// trace records one lifecycle span at the current virtual time. A nil
+// tracer makes it a no-op.
+func (m *Manager) trace(phase telemetry.Phase, job, worker, note string) {
+	m.tracer.Record(float64(m.engine.Now()), phase, job, worker, note)
+}
+
 // OnPlace subscribes to job placements (metrics uses this to bind job
 // labels to container IDs; re-placements after failures fire again).
 func (m *Manager) OnPlace(fn func(jobName string, w *Worker, c runtime.Container)) {
@@ -455,6 +478,7 @@ func (m *Manager) Submit(at sim.Time, name string, profile dlmodel.Profile) {
 	m.profiles[name] = profile
 	m.submitted++
 	m.engine.At(at, sim.PriorityState, "manager.place."+name, func() {
+		m.trace(telemetry.PhaseSubmit, name, "", "")
 		m.tryPlace(pendingJob{name: name, profile: profile})
 	})
 }
@@ -471,6 +495,7 @@ func (m *Manager) SubmitNow(name string, profile dlmodel.Profile) {
 	m.placed[name] = nil // reserve
 	m.profiles[name] = profile
 	m.submitted++
+	m.trace(telemetry.PhaseSubmit, name, "", "")
 	m.tryPlace(pendingJob{name: name, profile: profile})
 }
 
@@ -479,6 +504,7 @@ func (m *Manager) tryPlace(job pendingJob) {
 	w := m.placement(m.workers, job.profile)
 	if w == nil {
 		m.queue = append(m.queue, job)
+		m.trace(telemetry.PhaseQueue, job.name, "", "no hostable worker")
 		return
 	}
 	m.placeOn(w, job)
@@ -512,11 +538,13 @@ func (m *Manager) EnableCheckpointing(interval float64) {
 
 // placeOn launches a job on a specific worker and notifies subscribers.
 func (m *Manager) placeOn(w *Worker, job pendingJob) {
+	m.trace(telemetry.PhaseAdmit, job.name, w.Name(), "")
 	dljob := dlmodel.NewJobFromCheckpoint(job.name, job.profile, job.resumeWork)
 	c, err := w.LaunchJob(job.name, dljob)
 	if err != nil {
 		panic(fmt.Sprintf("cluster: launch %s: %v", job.name, err))
 	}
+	m.trace(telemetry.PhasePlace, job.name, w.Name(), c.ID)
 	m.placed[job.name] = w
 	for _, fn := range m.onPlace {
 		fn(job.name, w, c)
@@ -549,6 +577,9 @@ func (m *Manager) handleFailure(failed *Worker) {
 	}
 	// Deterministic retry order.
 	sortPending(lost)
+	for _, job := range lost {
+		m.trace(telemetry.PhaseFail, job.name, failed.Name(), "worker failed; rescheduling")
+	}
 	m.engine.At(m.engine.Now(), sim.PriorityListener, "manager.reschedule", func() {
 		for _, job := range lost {
 			m.tryPlace(job)

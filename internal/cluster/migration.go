@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // MigrationCost models the latency of a live container migration charged
@@ -111,6 +112,13 @@ func (m *Manager) Migrate(spec MigrationSpec) error {
 	}
 	cp.GEHistory = append([]float64(nil), spec.GEHistory...)
 
+	if m.tracer != nil {
+		dstName := "any"
+		if spec.Dst != nil {
+			dstName = spec.Dst.Name()
+		}
+		m.trace(telemetry.PhaseMigrate, spec.Job, src.Name(), "freeze dst="+dstName)
+	}
 	m.placed[spec.Job] = nil
 	m.inflight[spec.Job] = cp
 	dst := spec.Dst
@@ -137,12 +145,14 @@ func (m *Manager) thaw(job string, dst *Worker, cp *runtime.Checkpoint) {
 		// whose whole state is delivered work — and the admission queue
 		// takes over.
 		m.queue = append(m.queue, pendingJob{name: job, profile: profile, resumeWork: cp.Work})
+		m.trace(telemetry.PhaseMigrate, job, "", "thaw queued (no hostable worker)")
 		return
 	}
 	c, err := dst.Restore(cp)
 	if err != nil {
 		panic(fmt.Sprintf("cluster: thaw %s on %s: %v", job, dst.Name(), err))
 	}
+	m.trace(telemetry.PhaseMigrate, job, dst.Name(), "thaw "+c.ID)
 	m.placed[job] = dst
 	for _, fn := range m.onMigrate {
 		fn(job, dst, c)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simdocker"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -98,6 +99,13 @@ type Spec struct {
 	// limit-event traces — at O(jobs × makespan) memory. The tier never
 	// changes simulation behavior, only what the collector keeps.
 	TraceLevel metrics.Tier
+	// Tracer, when set, receives one lifecycle span per job step
+	// (submit → admit → place → run → migrate* → exit/fail) from the
+	// manager and the runner's daemon hooks. Pure observer: attaching one
+	// never changes simulation behavior or output (flowcon-sim's
+	// -trace-out uses this). The tracer is echoed back on Result.Tracer
+	// for export.
+	Tracer *telemetry.Tracer
 }
 
 // Drain schedules rolling maintenance on one worker: cordon + migrate
@@ -149,8 +157,18 @@ type Result struct {
 	// simulation output is byte-identical regardless.
 	SimShards  int
 	SimBatches int
+	// ShardProfile is the sharded executor's phase profile (epochs,
+	// serial-degrade events/episodes, per-lane event counts, barrier-wait
+	// and merge wall-time). Nil when the run used the serial engine. The
+	// event counters are deterministic; the wall-time fields are host
+	// measurements.
+	ShardProfile *sim.ShardProfile
 	// TraceLevel records the metric-retention tier the run used.
 	TraceLevel metrics.Tier
+	// Tracer is the lifecycle tracer the run recorded into (Spec.Tracer,
+	// echoed back so sweep callers can export spans per run). Nil when
+	// tracing was off.
+	Tracer *telemetry.Tracer
 }
 
 // CompletionTimes returns job name → completion time (finish − start).
@@ -302,14 +320,19 @@ func RunE(spec Spec) (*Result, error) {
 		modelOf[s.Name] = s.Profile.Key()
 	}
 	manager := cluster.NewManager(engine, workers, spec.Placement)
+	manager.SetTracer(spec.Tracer)
 	if spec.CheckpointWork > 0 {
 		manager.EnableCheckpointing(spec.CheckpointWork)
 	}
 	manager.OnPlace(func(name string, w *cluster.Worker, c rt.Container) {
 		collector.TrackJob(name, w.Name(), modelOf[name], c.ID, c.StartedAt)
+		// The run span follows the manager's place span: the container is
+		// up and training (a nil tracer is a no-op).
+		spec.Tracer.Record(c.StartedAt, telemetry.PhaseRun, name, w.Name(), c.ID)
 	})
 	manager.OnMigrate(func(name string, w *cluster.Worker, c rt.Container) {
 		collector.TrackJobMigrated(name, w.Name(), modelOf[name], c.ID, c.StartedAt)
+		spec.Tracer.Record(c.StartedAt, telemetry.PhaseRun, name, w.Name(), c.ID)
 	})
 	var clusterPolicy sched.ClusterPolicy
 	if spec.ClusterPolicy != nil {
@@ -349,11 +372,18 @@ func RunE(spec Spec) (*Result, error) {
 		exhausted.Store(true)
 	}
 	var finished atomic.Int64
-	for _, d := range daemons {
+	for i, d := range daemons {
+		workerName := workers[i].Name()
 		d.OnExit(func(c *simdocker.Container) {
 			if !c.Workload().Done() {
 				return
 			}
+			// The exit span is stamped with the container's own finish time:
+			// exits retired synchronously by an executor tick inside a
+			// sharded batch must not read the (stale there) engine clock.
+			// Record is mutex-guarded and allocation-free, so concurrent
+			// lanes can share the ring.
+			spec.Tracer.Record(float64(c.FinishedAt()), telemetry.PhaseExit, c.Name(), workerName, c.ID())
 			if finished.Add(1) == submitted.Load() && exhausted.Load() {
 				engine.Stop()
 			}
@@ -469,7 +499,10 @@ func RunE(spec Spec) (*Result, error) {
 	if sharded != nil {
 		res.SimShards = shards
 		res.SimBatches = sharded.Batches()
+		prof := sharded.Profile()
+		res.ShardProfile = &prof
 	}
+	res.Tracer = spec.Tracer
 	for _, p := range policies {
 		if fc, ok := p.(*sched.FlowCon); ok && fc.Controller() != nil {
 			res.AlgorithmRuns += fc.Controller().Runs()

@@ -12,6 +12,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -86,6 +87,12 @@ type Scenario struct {
 	// zero value is the constant-memory summary tier; metrics.TierDense
 	// retains raw series for figure/trace export.
 	TraceLevel metrics.Tier
+	// NewTracer, when set, builds a fresh lifecycle tracer per expanded
+	// Spec (specs run concurrently in sweeps, so they must not share a
+	// ring). The tracer rides Spec.Tracer into the run and comes back on
+	// Result.Tracer; flowcon-sim's -trace-out installs this to export
+	// every run's span log.
+	NewTracer func() *telemetry.Tracer
 }
 
 // Setting returns the scenario's effective FlowCon setting.
@@ -118,6 +125,9 @@ func (s Scenario) Spec(seed int64) Spec {
 		MigrationCost:          s.MigrationCost,
 		SimShards:              s.SimShards,
 		TraceLevel:             s.TraceLevel,
+	}
+	if s.NewTracer != nil {
+		spec.Tracer = s.NewTracer()
 	}
 	// Streaming is the preferred admission path when the scenario offers
 	// it; the eager generator remains for trace recording and for the

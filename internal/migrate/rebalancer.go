@@ -35,6 +35,7 @@ import (
 	"repro/internal/flowcon"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the Rebalancer. The zero value gets the documented
@@ -196,6 +197,14 @@ func (r *Rebalancer) AttachCluster(engine *sim.Engine, m *cluster.Manager) {
 			r.plans++
 			if r.execute(p) {
 				r.executed++
+				// Record the decision that caused the move next to the
+				// manager's freeze/thaw spans (the note carries the
+				// heuristic and the GE evidence). Guarded: the note is
+				// formatted only when a tracer is listening.
+				if tr := m.Tracer(); tr != nil {
+					tr.Record(float64(engine.Now()), telemetry.PhaseMigrate, p.Job, p.Src,
+						fmt.Sprintf("rebalance reason=%s dst=%s ge=%.4f", p.Reason, p.Dst, p.G))
+				}
 			}
 		}
 		engine.After(r.cfg.Interval, sim.PriorityExecutor, "migrate.scan", tick)

@@ -6,7 +6,44 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ShardProfile is the sharded executor's per-run phase profile: where the
+// event stream went (parallel batches vs serial-degrade stepping) and
+// where the coordinator's wall-clock went (blocked on the epoch barrier
+// vs merging deferred work). Event counts are deterministic for a given
+// run; the wall-time fields are host measurements and are not.
+//
+// The profile is what the "multi-core sharded scaling" roadmap item
+// optimizes against: a high SerialEvents share means the degrade
+// heuristics (ExitsReactive, SerialTail) dominate, a high BarrierWaitSec
+// share means lane imbalance, a high MergeSec share means deferred-event
+// replay is the next target.
+type ShardProfile struct {
+	// Epochs counts parallel batches executed (single-lane inline batches
+	// included) — the same number Batches reports.
+	Epochs int64
+	// BatchEvents counts events executed inside batches, across lanes.
+	BatchEvents int64
+	// SerialEvents counts events the coordinator stepped serially:
+	// cluster-lane events, exits, and every event during exit-reactive or
+	// tail degrade windows.
+	SerialEvents int64
+	// SerialEpisodes counts maximal runs of consecutive serial steps — the
+	// number of times the executor fell out of batch mode.
+	SerialEpisodes int64
+	// BarrierWaitSec is coordinator wall-clock spent blocked on the epoch
+	// barrier after finishing its own share of a multi-lane batch.
+	BarrierWaitSec float64
+	// MergeSec is coordinator wall-clock spent in the post-batch merge
+	// (clock advance, deferred cancellations, deferred-schedule replay).
+	MergeSec float64
+	// LaneEvents counts batch events per worker lane (index = lane id - 1).
+	// The spread quantifies lane imbalance, the direct cause of barrier
+	// wait.
+	LaneEvents []int64
+}
 
 // Sharded executes one Engine's event stream with per-lane parallelism
 // while producing byte-identical results to the serial Run loop.
@@ -96,6 +133,11 @@ type Sharded struct {
 	// batches counts lane batches executed, single-lane ones included
 	// (diagnostics).
 	batches int
+
+	// prof accumulates the run's phase profile; inSerial tracks whether
+	// the previous step was serial, so episodes count transitions.
+	prof     ShardProfile
+	inSerial bool
 }
 
 // NewSharded wraps an engine for sharded execution with the given number
@@ -112,6 +154,7 @@ func NewSharded(eng *Engine, workers int) *Sharded {
 		panic("sim: engine already sharded")
 	}
 	s := &Sharded{eng: eng, SerialTail: 8}
+	s.prof.LaneEvents = make([]int64, workers)
 	s.lanes = make([]*Lane, workers)
 	for i := range s.lanes {
 		s.lanes[i] = &Lane{s: s, id: i + 1}
@@ -130,6 +173,16 @@ func (s *Sharded) Lane(i int) *Lane { return s.lanes[i] }
 // single-lane ones that ran inline under batch semantics (diagnostics;
 // zero means the run degenerated to fully serial stepping).
 func (s *Sharded) Batches() int { return s.batches }
+
+// Profile returns a copy of the run's accumulated phase profile. Call it
+// after Run returns; the counters keep accumulating across multiple Run
+// calls on the same executor.
+func (s *Sharded) Profile() ShardProfile {
+	p := s.prof
+	p.Epochs = int64(s.batches)
+	p.LaneEvents = append([]int64(nil), s.prof.LaneEvents...)
+	return p
+}
 
 // deferRemoval queues a canceled event's heap removal for the merge phase.
 // Called from the owning lane's goroutine during a batch.
@@ -174,8 +227,14 @@ func (s *Sharded) Run(horizon Time) int {
 		if head.lane == 0 || head.exit || procs == 1 || s.reactive() || s.inTail() {
 			e.step()
 			n++
+			s.prof.SerialEvents++
+			if !s.inSerial {
+				s.inSerial = true
+				s.prof.SerialEpisodes++
+			}
 			continue
 		}
+		s.inSerial = false
 		n += s.runBatch(horizon, procs)
 	}
 	if !e.stopped.Load() && horizon != Infinity && e.now < horizon {
@@ -263,7 +322,9 @@ func (s *Sharded) runBatch(horizon Time, procs int) int {
 			}()
 		}
 		work()
+		barrier := time.Now()
 		wg.Wait()
+		s.prof.BarrierWaitSec += time.Since(barrier).Seconds()
 		s.inBatch = false
 	}
 
@@ -275,12 +336,15 @@ func (s *Sharded) runBatch(horizon Time, procs int) int {
 	// valid convention; within a lane the scheduling order is preserved,
 	// matching the seqs the serial engine would have assigned.
 	n := 0
+	merge := time.Now()
 	for _, ln := range s.active {
 		if ln.now > e.now {
 			e.now = ln.now
 		}
 		n += ln.executed
 		e.executed += uint64(ln.executed)
+		s.prof.BatchEvents += int64(ln.executed)
+		s.prof.LaneEvents[ln.id-1] += int64(ln.executed)
 		ln.executed = 0
 		for _, ev := range ln.removals {
 			if ev.index >= 0 {
@@ -300,6 +364,7 @@ func (s *Sharded) runBatch(horizon Time, procs int) int {
 		ln.deferred = ln.deferred[:0]
 		ln.batch = ln.batch[:0]
 	}
+	s.prof.MergeSec += time.Since(merge).Seconds()
 	return n
 }
 

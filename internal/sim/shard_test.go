@@ -286,3 +286,72 @@ func TestShardedRejectsDoubleAttach(t *testing.T) {
 	}()
 	NewSharded(eng, 1)
 }
+
+// TestShardedProfile pins the phase profiler's accounting identities on
+// the synthetic multi-lane workload: epochs match Batches, batch + serial
+// events sum to the run's executed total, per-lane events sum to the
+// batch total, and the deterministic counters are identical run-to-run.
+func TestShardedProfile(t *testing.T) {
+	run := func() (ShardProfile, int, int) {
+		eng := NewEngine()
+		s := NewSharded(eng, 4)
+		s.Procs = 4
+		s.ExitsReactive = func() bool { return false }
+		s.Remaining = func() int { return 1000 }
+		buildShardWorkload(eng, func(i int) Scheduler { return s.Lane(i) }, 4, 100)
+		n := s.Run(100)
+		return s.Profile(), n, s.Batches()
+	}
+
+	p, n, batches := run()
+	if p.Epochs != int64(batches) || p.Epochs == 0 {
+		t.Errorf("Epochs = %d, Batches() = %d; want equal and non-zero", p.Epochs, batches)
+	}
+	if p.BatchEvents+p.SerialEvents != int64(n) {
+		t.Errorf("BatchEvents(%d) + SerialEvents(%d) != executed(%d)",
+			p.BatchEvents, p.SerialEvents, n)
+	}
+	if p.SerialEpisodes == 0 || p.SerialEpisodes > p.SerialEvents {
+		t.Errorf("SerialEpisodes = %d with SerialEvents = %d", p.SerialEpisodes, p.SerialEvents)
+	}
+	var lanes int64
+	for _, c := range p.LaneEvents {
+		lanes += c
+	}
+	if lanes != p.BatchEvents {
+		t.Errorf("sum(LaneEvents) = %d, BatchEvents = %d", lanes, p.BatchEvents)
+	}
+	if p.BarrierWaitSec < 0 || p.MergeSec < 0 {
+		t.Errorf("negative wall time: barrier %g merge %g", p.BarrierWaitSec, p.MergeSec)
+	}
+
+	p2, n2, _ := run()
+	if n2 != n || p2.Epochs != p.Epochs || p2.BatchEvents != p.BatchEvents ||
+		p2.SerialEvents != p.SerialEvents || p2.SerialEpisodes != p.SerialEpisodes ||
+		!reflect.DeepEqual(p2.LaneEvents, p.LaneEvents) {
+		t.Errorf("deterministic profile counters differ between identical runs:\n %+v\n %+v", p, p2)
+	}
+
+	// The returned profile is a copy: mutating it must not reach back.
+	p.LaneEvents[0] = -1
+	if p3, _, _ := run(); p3.LaneEvents[0] == -1 {
+		t.Error("Profile shares its LaneEvents slice with the executor")
+	}
+}
+
+// TestShardedProfileFullySerial pins the degrade accounting: with nil
+// hooks everything is serial and the profile says so.
+func TestShardedProfileFullySerial(t *testing.T) {
+	eng := NewEngine()
+	s := NewSharded(eng, 2)
+	s.Procs = 4
+	buildShardWorkload(eng, func(i int) Scheduler { return s.Lane(i) }, 2, 30)
+	n := s.Run(30)
+	p := s.Profile()
+	if p.Epochs != 0 || p.BatchEvents != 0 {
+		t.Fatalf("serial run profiled %d epochs / %d batch events", p.Epochs, p.BatchEvents)
+	}
+	if p.SerialEvents != int64(n) || p.SerialEpisodes != 1 {
+		t.Fatalf("serial run: events %d/%d, episodes %d (want 1)", p.SerialEvents, n, p.SerialEpisodes)
+	}
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// LogFlags registers the shared structured-logging flag pair on fs (the
+// daemons all expose the same -log-level / -log-format contract). Pass
+// the resolved values to NewLogger after flag parsing.
+func LogFlags(fs *flag.FlagSet) (level, format *string) {
+	level = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	format = fs.String("log-format", "text", "log encoding: text or json")
+	return level, format
+}
+
+// NewLogger builds a slog.Logger writing to w from the -log-level /
+// -log-format flag values. Unknown values are an error (the daemons exit
+// rather than silently logging at the wrong level).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}

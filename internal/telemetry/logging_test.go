@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestLogFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	level, format := LogFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *level != "info" || *format != "text" {
+		t.Fatalf("defaults = %q/%q, want info/text", *level, *format)
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var b bytes.Buffer
+	lg, err := NewLogger(&b, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("visible", "k", 1)
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked past warn level: %q", out)
+	}
+	if !strings.Contains(out, "msg=visible") || !strings.Contains(out, "k=1") {
+		t.Errorf("warn line malformed: %q", out)
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var b bytes.Buffer
+	lg, err := NewLogger(&b, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("boot", "addr", ":7177")
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, b.String())
+	}
+	if rec["msg"] != "boot" || rec["addr"] != ":7177" {
+		t.Errorf("json record = %v", rec)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}

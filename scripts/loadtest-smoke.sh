@@ -1,9 +1,13 @@
 #!/bin/sh
 # loadtest-smoke: boot a real flowcon-worker, drive its /v1 API with
 # concurrent submitters for a few seconds, and gate on zero errors plus a
-# bounded p99 submit latency. When a BENCH_sim.json is present the
-# latency fields are recorded additively on its newest entry (schema
-# stays 2; see docs/BENCH_SCHEMA.md).
+# bounded p99 submit latency. The run also scrapes the worker's live
+# /v1/metrics endpoint (loadtest -assert-metrics) and fails unless the
+# agent-side submit counters are non-zero and consistent with the
+# client's view. When a BENCH_sim.json is present the latency fields
+# (with the connect/submit/status-poll phase split) are recorded
+# additively on its newest entry (schema stays 2; see
+# docs/BENCH_SCHEMA.md).
 #
 # Env knobs: ADDR (:7177), SUBMITTERS (8), JOBS (25), P99_BUDGET (500ms).
 set -eu
@@ -37,7 +41,7 @@ fi
 
 if ! "$dir/loadtest" -worker "http://$ADDR" \
     -submitters "$SUBMITTERS" -jobs "$JOBS" \
-    -p99-budget "$P99_BUDGET" $bench_flag; then
+    -p99-budget "$P99_BUDGET" -assert-metrics $bench_flag; then
     echo "--- worker log ---"
     cat "$dir/worker.log"
     exit 1
