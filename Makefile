@@ -74,7 +74,8 @@ cover:
 # executor — the determinism guarantees CI enforces on every PR. The
 # megacluster-smoke leg drives ~50k streamed arrivals through the lazy
 # admission loop on 1000 workers and holds it to the same shard
-# equivalence.
+# equivalence. The chaos leg pins the fault-injected pair explicitly:
+# a seeded chaos run's fault trace is part of the byte-identity contract.
 determinism:
 	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) build -o $$dir/flowcon-sim ./cmd/flowcon-sim && \
@@ -92,7 +93,13 @@ determinism:
 	$$dir/flowcon-sim -scenario megacluster-smoke -seeds 1 > $$dir/mega-serial.out && \
 	$$dir/flowcon-sim -scenario megacluster-smoke -seeds 1 -shard-sim 8 > $$dir/mega-sharded.out && \
 	cmp $$dir/mega-serial.out $$dir/mega-sharded.out && \
-	echo "megacluster-smoke streaming output is byte-identical at -shard-sim 1 and 8"
+	echo "megacluster-smoke streaming output is byte-identical at -shard-sim 1 and 8" && \
+	$$dir/flowcon-sim -scenario chaos-day,chaos-day-scratch -seeds 2 -parallel 1 > $$dir/chaos-serial.out && \
+	$$dir/flowcon-sim -scenario chaos-day,chaos-day-scratch -seeds 2 -parallel 8 > $$dir/chaos-parallel.out && \
+	cmp $$dir/chaos-serial.out $$dir/chaos-parallel.out && \
+	$$dir/flowcon-sim -scenario chaos-day,chaos-day-scratch -seeds 2 -parallel 1 -shard-sim 8 > $$dir/chaos-sharded.out && \
+	cmp $$dir/chaos-serial.out $$dir/chaos-sharded.out && \
+	echo "chaos-day fault traces are byte-identical at -parallel 1/8 and -shard-sim 1/8"
 
 # Short smoke run of every native fuzz target (the corpus under
 # testdata/fuzz runs as regular tests too).

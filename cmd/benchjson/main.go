@@ -155,6 +155,14 @@ func main() {
 		fatalf("scenario (dense): %v", err)
 	}
 	entry.Scenarios = append(entry.Scenarios, dense)
+	// The chaos row tracks the self-healing layer's trajectory: wall cost
+	// of the fault-injected run plus the availability ledger (downtime,
+	// restart provenance, wasted work, MTTR) for the chaos-day storm.
+	chaos, err := runScenario("chaos-day", 1, metrics.TierSummary)
+	if err != nil {
+		fatalf("scenario (chaos-day): %v", err)
+	}
+	entry.Scenarios = append(entry.Scenarios, chaos)
 	// The megacluster run exercises the streaming admission path at the
 	// ROADMAP's thousand-worker scale; its row is where the trajectory
 	// tracks sustained jobs/sec and the O(1)-workload memory claim. It
@@ -310,6 +318,29 @@ func runScenario(name string, simShards int, tier metrics.Tier) (benchfile.Scena
 	}
 	if tier == metrics.TierDense {
 		sr.SketchErrP50, sr.SketchErrP95, sr.SketchErrP99 = sketchError(res.Collector)
+	}
+	// Fault-injected runs carry the availability ledger (omitted for
+	// healthy rows — Result.Availability is attached only when the run saw
+	// chaos activity).
+	if a := res.Availability; a != nil {
+		sr.AvailabilityFrac = a.Frac()
+		sr.WorkerDownSec = a.WorkerDownSec
+		sr.Crashes = a.Crashes
+		sr.Kills = a.Kills
+		sr.Degradations = a.Degradations
+		sr.Checkpoints = a.Checkpoints
+		sr.RestartsFromCkpt = a.RestartsFromCheckpoint
+		sr.RestartsFromScratch = a.RestartsFromScratch
+		sr.WastedWorkSec = a.WastedWorkSec
+		if p := a.MTTRQuantile(0.50); !math.IsNaN(p) {
+			sr.MTTRp50Sec = p
+		}
+		if p := a.MTTRQuantile(0.95); !math.IsNaN(p) {
+			sr.MTTRp95Sec = p
+		}
+		sr.JobsAbandoned = res.Abandoned
+		sr.AdmissionsShed = a.Shed
+		sr.Cordons = a.Cordons
 	}
 	return sr, nil
 }

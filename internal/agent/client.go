@@ -1,7 +1,6 @@
 package agent
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -64,6 +63,9 @@ func (e *APIError) Unwrap() error {
 type Client struct {
 	base string
 	http *http.Client
+	// retry is nil until EnableRetry: the default client is single-shot.
+	retry *RetryPolicy
+	brk   breaker
 }
 
 // NewClient creates a client for the agent at base (e.g.
@@ -238,28 +240,17 @@ func (c *Client) StopJob(ctx context.Context, name string) (JobStatus, error) {
 }
 
 // do performs one request with a JSON body and decodes the response.
+// The body is marshalled once up front so the retry path (EnableRetry)
+// can replay it byte-for-byte on each attempt.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader *bytes.Reader
-	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("agent: encoding %s: %w", path, err)
-		}
-		reader = bytes.NewReader(raw)
-	} else {
-		reader = bytes.NewReader(nil)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	raw, err := marshalBody(path, body)
 	if err != nil {
-		return fmt.Errorf("agent: %s %s: %w", method, path, err)
+		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("agent: %s %s: %w", method, path, err)
+	if c.retry != nil {
+		return c.doRetry(ctx, method, path, raw, out)
 	}
-	defer resp.Body.Close()
-	return decode(path, resp, out)
+	return c.doOnce(ctx, method, path, raw, out)
 }
 
 // get performs a GET and decodes the JSON response into out.

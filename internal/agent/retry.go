@@ -1,0 +1,221 @@
+package agent
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// client's circuit breaker is open: the agent failed enough consecutive
+// times that hammering it further only delays its recovery.
+var ErrCircuitOpen = errors.New("agent: circuit breaker open")
+
+// RetryPolicy is the client's opt-in resilience layer for transient
+// failures — connection errors and 5xx responses. Permanent failures
+// (4xx: bad request, unknown job, queue full) are never retried; they
+// would fail identically every time. The zero client (no EnableRetry)
+// keeps the exact single-shot behaviour it always had.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request (minimum 1; 1
+	// means no retry, breaker only).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// JitterFrac spreads each delay uniformly within ±this fraction so
+	// synchronized clients do not reconverge on a recovering agent in
+	// lockstep (default 0.2, domain [0, 1]).
+	JitterFrac float64
+	// BreakerThreshold opens the circuit after this many consecutive
+	// transient failures across requests; while open, calls fail fast
+	// with ErrCircuitOpen. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before one
+	// half-open trial request is allowed through (default 5s). The trial
+	// succeeding closes the circuit; failing reopens it for another
+	// cooldown.
+	BreakerCooldown time.Duration
+}
+
+// Validate rejects out-of-domain retry policies with a named field.
+func (p RetryPolicy) Validate() error {
+	if p.Attempts < 1 {
+		return fmt.Errorf("agent: retry policy Attempts %d must be at least 1", p.Attempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 || p.BreakerCooldown < 0 {
+		return fmt.Errorf("agent: retry policy delays must be non-negative")
+	}
+	if p.JitterFrac < 0 || p.JitterFrac > 1 {
+		return fmt.Errorf("agent: retry policy JitterFrac %g outside [0, 1]", p.JitterFrac)
+	}
+	if p.BreakerThreshold < 0 {
+		return fmt.Errorf("agent: retry policy BreakerThreshold %d must be non-negative", p.BreakerThreshold)
+	}
+	return nil
+}
+
+// withDefaults fills the unset knobs after validation.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.BreakerCooldown == 0 {
+		p.BreakerCooldown = 5 * time.Second
+	}
+	return p
+}
+
+// delay returns the jittered backoff before attempt n+1 (n is the number
+// of attempts already made, 1-based).
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	jitter := 1 + p.JitterFrac*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * jitter)
+}
+
+// breaker is the client's consecutive-failure circuit state.
+type breaker struct {
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// EnableRetry installs a retry policy on the client. Call once, before
+// sharing the client across goroutines; it panics on an invalid policy,
+// matching the other assembly-time setters. The policy covers the JSON
+// API surface (everything routed through do); the raw-body endpoints
+// (Metrics, Healthz) and PingRetry keep their own semantics.
+func (c *Client) EnableRetry(p RetryPolicy) {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if c.retry != nil {
+		panic("agent: retry already enabled")
+	}
+	p = p.withDefaults()
+	c.retry = &p
+}
+
+// transient reports whether an error is worth retrying: transport
+// failures (connection refused, reset, timeout) and 5xx server errors.
+// 4xx responses are the server working correctly and saying no.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+// breakerAllow gates one request: fail-fast while open, one trial when
+// the cooldown expired (half-open), free pass otherwise.
+func (c *Client) breakerAllow() error {
+	if c.retry.BreakerThreshold <= 0 {
+		return nil
+	}
+	c.brk.mu.Lock()
+	defer c.brk.mu.Unlock()
+	if c.brk.openUntil.IsZero() || time.Now().After(c.brk.openUntil) {
+		// Closed, or half-open: the cooldown expired, let this trial
+		// through. A failure will re-open immediately (consecutive is
+		// still at/above threshold).
+		return nil
+	}
+	return ErrCircuitOpen
+}
+
+// breakerRecord folds one request outcome into the circuit state.
+func (c *Client) breakerRecord(transientFailure bool) {
+	if c.retry.BreakerThreshold <= 0 {
+		return
+	}
+	c.brk.mu.Lock()
+	defer c.brk.mu.Unlock()
+	if !transientFailure {
+		// Success — or a permanent error, which still proves the agent is
+		// alive and answering.
+		c.brk.consecutive = 0
+		c.brk.openUntil = time.Time{}
+		return
+	}
+	c.brk.consecutive++
+	if c.brk.consecutive >= c.retry.BreakerThreshold {
+		c.brk.openUntil = time.Now().Add(c.retry.BreakerCooldown)
+	}
+}
+
+// doRetry runs the request loop under the installed policy: bounded
+// attempts, jittered exponential backoff between them, circuit breaker
+// across them, and the context honoured at every step.
+func (c *Client) doRetry(ctx context.Context, method, path string, raw []byte, out any) error {
+	p := c.retry
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := c.breakerAllow(); err != nil {
+			return fmt.Errorf("agent: %s %s: %w", method, path, err)
+		}
+		lastErr = c.doOnce(ctx, method, path, raw, out)
+		retryable := transient(lastErr)
+		c.breakerRecord(retryable)
+		if lastErr == nil || !retryable || attempt >= p.Attempts {
+			return lastErr
+		}
+		if ctx.Err() != nil {
+			return lastErr // the transport error already reflects the dead context
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("agent: %s %s: %w (last: %v)", method, path, ctx.Err(), lastErr)
+		case <-time.After(p.delay(attempt)):
+		}
+	}
+}
+
+// doOnce performs a single HTTP round trip with a fresh body reader —
+// the unit both the single-shot and the retrying path share.
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("agent: %s %s: %w", method, path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("agent: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	return decode(path, resp, out)
+}
+
+// marshalBody encodes a request body once so retries can replay it.
+func marshalBody(path string, body any) ([]byte, error) {
+	if body == nil {
+		return nil, nil
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("agent: encoding %s: %w", path, err)
+	}
+	return raw, nil
+}

@@ -1,0 +1,265 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyServer answers /v1/ping, failing each request until its fail
+// budget is spent, then succeeding — the recovering-agent shape the
+// retry layer exists for.
+type flakyServer struct {
+	mu       sync.Mutex
+	requests int
+	failures int // respond 500 while requests <= failures
+	status   int // failure status (default 500)
+}
+
+func (f *flakyServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.requests++
+	n := f.requests
+	f.mu.Unlock()
+	if n <= f.failures {
+		status := f.status
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, `{"error":"transient"}`, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"status":"ok"}`))
+}
+
+func (f *flakyServer) seen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.requests
+}
+
+// fastRetry is a policy with millisecond backoff so tests stay quick.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{
+		Attempts:  attempts,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  5 * time.Millisecond,
+	}
+}
+
+func retryClient(t *testing.T, h http.Handler, p RetryPolicy) (*Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, nil)
+	c.EnableRetry(p)
+	return c, srv
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    RetryPolicy
+		ok   bool
+	}{
+		{"minimal", RetryPolicy{Attempts: 1}, true},
+		{"full", RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Second, JitterFrac: 0.5, BreakerThreshold: 3, BreakerCooldown: time.Second}, true},
+		{"zero attempts", RetryPolicy{}, false},
+		{"negative delay", RetryPolicy{Attempts: 2, BaseDelay: -1}, false},
+		{"jitter over 1", RetryPolicy{Attempts: 2, JitterFrac: 1.5}, false},
+		{"negative threshold", RetryPolicy{Attempts: 2, BreakerThreshold: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestEnableRetryGuards(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0", nil)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("invalid policy", func() { c.EnableRetry(RetryPolicy{}) })
+	c.EnableRetry(fastRetry(2))
+	mustPanic("double enable", func() { c.EnableRetry(fastRetry(2)) })
+}
+
+// Two 500s then success: the retry layer absorbs the transient outage
+// and the caller sees one clean response.
+func TestRetrySucceedsAfterTransient5xx(t *testing.T) {
+	srv := &flakyServer{failures: 2}
+	c, _ := retryClient(t, srv, fastRetry(4))
+	if _, err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping through two 500s: %v", err)
+	}
+	if got := srv.seen(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two failures + success)", got)
+	}
+}
+
+// 4xx is the server working and saying no — never retried, returned
+// verbatim on the first attempt.
+func TestRetryDoesNotRetryClientErrors(t *testing.T) {
+	srv := &flakyServer{failures: 10, status: http.StatusNotFound}
+	c, _ := retryClient(t, srv, fastRetry(5))
+	_, err := c.Ping(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("want APIError 404, got %v", err)
+	}
+	if got := srv.seen(); got != 1 {
+		t.Fatalf("server saw %d requests for a 404, want 1 (no retry)", got)
+	}
+}
+
+// A persistent outage exhausts the attempt budget and surfaces the last
+// transient error rather than looping forever.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	srv := &flakyServer{failures: 100}
+	c, _ := retryClient(t, srv, fastRetry(3))
+	_, err := c.Ping(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("want the final 500, got %v", err)
+	}
+	if got := srv.seen(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly the 3-attempt budget", got)
+	}
+}
+
+// Transport-level failures (connection refused) are transient too: the
+// retry loop keeps trying until the budget runs out.
+func TestRetryCoversConnectionErrors(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // nothing listens on this address any more
+	c := NewClient(srv.URL, nil)
+	c.EnableRetry(fastRetry(3))
+	start := time.Now()
+	if _, err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping to a closed port succeeded")
+	}
+	// Three attempts with 1ms+2ms backoff: the loop really slept between
+	// tries instead of bailing on the first connection error.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("retry loop returned after %v — backoff skipped", elapsed)
+	}
+}
+
+// Cancelling the context aborts the backoff wait immediately.
+func TestRetryHonorsContext(t *testing.T) {
+	srv := &flakyServer{failures: 100}
+	c, _ := retryClient(t, srv, RetryPolicy{Attempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Ping(ctx)
+	if err == nil {
+		t.Fatal("ping succeeded against a failing server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded in %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v — the hour-long backoff was not interrupted", elapsed)
+	}
+	if got := srv.seen(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 before the deadline hit", got)
+	}
+}
+
+// After the threshold of consecutive transient failures the breaker
+// opens: calls fail fast with ErrCircuitOpen and never reach the wire.
+// Once the cooldown passes, a half-open trial goes through and a healthy
+// answer closes the circuit again.
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	srv := &flakyServer{failures: 2}
+	c, _ := retryClient(t, srv, RetryPolicy{
+		Attempts:         1, // isolate the breaker from the retry loop
+		BaseDelay:        time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Ping(ctx); err == nil {
+			t.Fatalf("call %d succeeded against a failing server", i)
+		}
+	}
+	if got := srv.seen(); got != 2 {
+		t.Fatalf("server saw %d requests while the breaker charged, want 2", got)
+	}
+	// Threshold reached: the next call must fail fast without a request.
+	if _, err := c.Ping(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen while open, got %v", err)
+	}
+	if got := srv.seen(); got != 2 {
+		t.Fatalf("open breaker let a request through (server saw %d)", got)
+	}
+	// Cooldown expires; the server has recovered (failure budget spent),
+	// so the half-open trial succeeds and closes the circuit.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Ping(ctx); err != nil {
+		t.Fatalf("half-open trial against a recovered server: %v", err)
+	}
+	if _, err := c.Ping(ctx); err != nil {
+		t.Fatalf("closed-circuit call failed: %v", err)
+	}
+	if got := srv.seen(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4 (2 failures + trial + follow-up)", got)
+	}
+}
+
+// A failed half-open trial re-opens the circuit for another cooldown.
+func TestCircuitBreakerReopensOnFailedTrial(t *testing.T) {
+	srv := &flakyServer{failures: 3}
+	c, _ := retryClient(t, srv, RetryPolicy{
+		Attempts:         1,
+		BaseDelay:        time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		_, _ = c.Ping(ctx)
+	}
+	time.Sleep(60 * time.Millisecond)
+	// Trial fails (third budgeted failure) — the breaker snaps shut again.
+	if _, err := c.Ping(ctx); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open trial should reach the server and fail, got %v", err)
+	}
+	if _, err := c.Ping(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker did not re-open after the failed trial, got %v", err)
+	}
+	if got := srv.seen(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+}
+
+// The backoff schedule doubles from BaseDelay, respects the cap, and
+// jitter stays inside ±JitterFrac.
+func TestRetryBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, JitterFrac: 0.2}
+	want := []time.Duration{10, 20, 40, 40} // ms, pre-jitter, for attempts 1..4
+	for i, base := range want {
+		base *= time.Millisecond
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		for trial := 0; trial < 50; trial++ {
+			if d := p.delay(i + 1); d < lo || d > hi {
+				t.Fatalf("delay(%d) = %v outside [%v, %v]", i+1, d, lo, hi)
+			}
+		}
+	}
+}

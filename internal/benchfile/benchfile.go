@@ -88,6 +88,25 @@ type ScenarioResult struct {
 	SerialEpisodes int64   `json:"serial_episodes,omitempty"`
 	BarrierWaitSec float64 `json:"barrier_wait_sec,omitempty"`
 	MergeSec       float64 `json:"merge_sec,omitempty"`
+	// AvailabilityFrac through Cordons are the chaos-engine availability
+	// ledger (cluster.Availability), recorded only for fault-injected runs
+	// (the chaos-day family). All additive and omitempty, so the schema
+	// stays at 2 and healthy rows are unchanged. MTTR quantiles are NaN-
+	// free: they are omitted (zero) when no job ever lost a container.
+	AvailabilityFrac    float64 `json:"availability_frac,omitempty"`
+	WorkerDownSec       float64 `json:"worker_down_sec,omitempty"`
+	Crashes             int     `json:"crashes,omitempty"`
+	Kills               int     `json:"kills,omitempty"`
+	Degradations        int     `json:"degradations,omitempty"`
+	Checkpoints         int     `json:"checkpoints,omitempty"`
+	RestartsFromCkpt    int     `json:"restarts_from_checkpoint,omitempty"`
+	RestartsFromScratch int     `json:"restarts_from_scratch,omitempty"`
+	WastedWorkSec       float64 `json:"wasted_work_sec,omitempty"`
+	MTTRp50Sec          float64 `json:"mttr_p50_sec,omitempty"`
+	MTTRp95Sec          float64 `json:"mttr_p95_sec,omitempty"`
+	JobsAbandoned       int     `json:"jobs_abandoned,omitempty"`
+	AdmissionsShed      int     `json:"admissions_shed,omitempty"`
+	Cordons             int     `json:"cordons,omitempty"`
 }
 
 // LoadtestResult is one /v1 API load-test data point: concurrent

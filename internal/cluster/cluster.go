@@ -11,7 +11,6 @@ package cluster
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/dlmodel"
@@ -68,9 +67,10 @@ type Worker struct {
 	// maintenance); running containers keep running until drained.
 	cordoned bool
 
-	startSubs []func(id string)
-	exitSubs  []func(id string)
-	failSubs  []func()
+	startSubs  []func(id string)
+	exitSubs   []func(id string)
+	failSubs   []func()
+	repairSubs []func()
 }
 
 var _ runtime.Runtime = (*Worker)(nil)
@@ -221,16 +221,28 @@ func (w *Worker) Fail() {
 	}
 }
 
+// OnRepair subscribes to worker-repair notifications (fired only on a
+// real failed→online transition; repairing a healthy worker is a no-op
+// for subscribers). The manager uses this to close downtime accounting
+// and revive its admission queue.
+func (w *Worker) OnRepair(fn func()) { w.repairSubs = append(w.repairSubs, fn) }
+
 // Repair brings a failed worker back online with an empty pool: the
 // exited husks the crash left behind are removed so their reserved names
 // cannot collide with a job migrating (or being re-placed) back onto the
 // repaired node.
 func (w *Worker) Repair() {
+	wasFailed := w.failed
 	w.failed = false
 	for _, c := range w.rt.PS(true) {
 		if c.State == runtime.Exited {
 			// Remove cannot fail for an exited container PS just returned.
 			_ = w.rt.Remove(c.ID)
+		}
+	}
+	if wasFailed {
+		for _, fn := range w.repairSubs {
+			fn()
 		}
 	}
 }
@@ -388,6 +400,23 @@ type Manager struct {
 	// periodic model-state snapshots (an extension beyond the paper,
 	// whose jobs do not checkpoint).
 	checkpointInterval float64
+
+	// Self-healing state (see selfheal.go). recovery is nil until
+	// EnableSelfHealing; everything below it is maintained regardless, so
+	// the availability ledger covers legacy fault paths too.
+	recovery *RecoveryPolicy
+	// snapshots holds each job's last priced periodic checkpoint (CPU
+	// work), the floor a crash restart resumes from.
+	snapshots map[string]float64
+	// attempts counts failure-driven restarts per job (the retry budget).
+	attempts map[string]int
+	// crashLog holds recent crash times per worker for flap detection.
+	crashLog map[string][]float64
+	// abandoned counts jobs dropped after exhausting their retry budget.
+	abandoned int
+	onRestore []func(jobName string, w *Worker, c runtime.Container)
+	onAbandon []func(jobName string)
+	avail     *Availability
 }
 
 // NewManager creates a manager over the given workers. A nil placement
@@ -409,6 +438,10 @@ func NewManager(engine *sim.Engine, workers []*Worker, placement Placement) *Man
 		placed:    make(map[string]*Worker),
 		profiles:  make(map[string]dlmodel.Profile),
 		inflight:  make(map[string]*runtime.Checkpoint),
+		snapshots: make(map[string]float64),
+		attempts:  make(map[string]int),
+		crashLog:  make(map[string][]float64),
+		avail:     newAvailability(workers),
 	}
 	for _, w := range workers {
 		w := w
@@ -420,6 +453,13 @@ func NewManager(engine *sim.Engine, workers []*Worker, placement Placement) *Man
 			}
 		})
 		w.OnFail(func() { m.handleFailure(w) })
+		w.OnRepair(func() {
+			m.avail.workerUp(w, float64(engine.Now()))
+			m.trace(telemetry.PhaseRepair, "", w.Name(), "worker repaired")
+			// Restored capacity must revive queued jobs even if no container
+			// ever exits again.
+			m.Kick()
+		})
 	}
 	return m
 }
@@ -479,7 +519,7 @@ func (m *Manager) Submit(at sim.Time, name string, profile dlmodel.Profile) {
 	m.submitted++
 	m.engine.At(at, sim.PriorityState, "manager.place."+name, func() {
 		m.trace(telemetry.PhaseSubmit, name, "", "")
-		m.tryPlace(pendingJob{name: name, profile: profile})
+		m.admit(pendingJob{name: name, profile: profile})
 	})
 }
 
@@ -496,7 +536,22 @@ func (m *Manager) SubmitNow(name string, profile dlmodel.Profile) {
 	m.profiles[name] = profile
 	m.submitted++
 	m.trace(telemetry.PhaseSubmit, name, "", "")
-	m.tryPlace(pendingJob{name: name, profile: profile})
+	m.admit(pendingJob{name: name, profile: profile})
+}
+
+// admit is the fresh-submission entry: when the self-healing policy's
+// shed watermark trips (surviving capacity too low), the job is deferred
+// straight into the queue — the 429 path — instead of being offered to
+// the placement function. Requeues and recoveries skip this check: they
+// were already admitted once.
+func (m *Manager) admit(job pendingJob) {
+	if m.shouldShed() {
+		m.avail.Shed++
+		m.queue = append(m.queue, job)
+		m.trace(telemetry.PhaseShed, job.name, "", "capacity below shed watermark")
+		return
+	}
+	m.tryPlace(job)
 }
 
 // tryPlace launches the job now or queues it.
@@ -546,45 +601,56 @@ func (m *Manager) placeOn(w *Worker, job pendingJob) {
 	}
 	m.trace(telemetry.PhasePlace, job.name, w.Name(), c.ID)
 	m.placed[job.name] = w
+	m.avail.jobPlaced(job.name, float64(m.engine.Now()))
 	for _, fn := range m.onPlace {
 		fn(job.name, w, c)
 	}
 }
 
 // handleFailure reschedules every job that was running on the failed
-// worker. The containers were already stopped by Worker.Fail; the jobs
-// restart from scratch on whichever worker can host them.
+// worker. The containers were already stopped (and settled) by
+// Worker.Fail; each job resumes from its best checkpoint — the legacy
+// free-snapshot interval or the last priced periodic snapshot — or from
+// scratch, routed through the recovery policy's retry budget and backoff
+// when one is installed. Jobs frozen mid-checkpoint or mid-migration are
+// placed nowhere and survive untouched: their state already left the
+// node.
 func (m *Manager) handleFailure(failed *Worker) {
+	now := float64(m.engine.Now())
+	m.avail.workerDown(failed, now)
+	m.trace(telemetry.PhaseCrash, "", failed.Name(), "worker down")
 	var lost []pendingJob
 	for name, w := range m.placed {
 		if w != failed {
 			continue
 		}
-		// Only reschedule jobs whose container did not finish.
+		// Only reschedule jobs whose container did not finish. A failed
+		// lookup means the job has no container at all — it finished long
+		// ago and a previous Repair cleaned its husk (the name reservation
+		// in placed outlives the container). Fail stops every live
+		// container *before* notifying, so a genuinely lost job always
+		// still has its husk here.
 		c, err := failed.Lookup(name)
-		if err == nil && c.Done {
+		if err != nil || c.Done {
 			continue
 		}
 		job := pendingJob{name: name, profile: m.profiles[name]}
-		if m.checkpointInterval > 0 && err == nil {
-			// Resume from the last completed snapshot (Work is 0 when the
-			// workload does not expose it — a from-scratch restart).
-			job.resumeWork = math.Floor(c.Work/m.checkpointInterval) * m.checkpointInterval
-		}
+		// Work is 0 when the workload does not expose it — a from-scratch
+		// restart.
+		workAtLoss := c.Work
+		job.resumeWork = m.resumeWorkFor(name, workAtLoss)
 		lost = append(lost, job)
 		m.placed[name] = nil
 		m.requeued++
+		m.avail.jobLost(name, now, workAtLoss, job.resumeWork)
 	}
 	// Deterministic retry order.
 	sortPending(lost)
 	for _, job := range lost {
 		m.trace(telemetry.PhaseFail, job.name, failed.Name(), "worker failed; rescheduling")
 	}
-	m.engine.At(m.engine.Now(), sim.PriorityListener, "manager.reschedule", func() {
-		for _, job := range lost {
-			m.tryPlace(job)
-		}
-	})
+	m.rescheduleLost(lost)
+	m.noteFlap(failed, now)
 }
 
 // sortPending orders pending jobs by name for deterministic rescheduling.

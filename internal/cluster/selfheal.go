@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dlmodel"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// RecoveryPolicy configures the manager's self-healing layer: periodic
+// priced checkpoints, a retry budget with exponential backoff on restart
+// placement, flap detection that cordons repeatedly crashing workers, and
+// admission shedding below a surviving-capacity watermark. The zero value
+// of every knob means "off", so a policy enables exactly the mechanisms
+// it names; EnableSelfHealing(RecoveryPolicy{}) is a no-op with a ledger.
+type RecoveryPolicy struct {
+	// CheckpointEverySec, when positive, snapshots every long-running job
+	// periodically: each scan freezes jobs that accumulated enough fresh
+	// work, charges CheckpointCost on the sim clock (the job makes no
+	// progress while frozen), and restores them in place. A later crash
+	// resumes from the last snapshot instead of zero.
+	CheckpointEverySec float64
+	// CheckpointCost prices one snapshot (freeze + state write + thaw).
+	// The zero value means DefaultMigrationCost — snapshots are charged
+	// like migrations unless the policy says local storage is cheaper.
+	CheckpointCost MigrationCost
+	// MinSnapshotDelta is the least fresh CPU work (cpu-seconds beyond
+	// the last snapshot) that justifies paying for another one. Zero
+	// defaults to CheckpointEverySec/4, so an idle or starved job is not
+	// re-frozen for nothing.
+	MinSnapshotDelta float64
+	// RetryBudget caps failure-driven restarts per job; the budget
+	// exhausted, the job is abandoned (PhaseGiveUp, OnAbandon). 0 retries
+	// forever — the pre-self-healing behaviour.
+	RetryBudget int
+	// BackoffBaseSec delays the n-th restart of a job by
+	// min(base·2^(n−1), cap) virtual seconds — breathing room so a
+	// flapping worker does not churn the same placement. 0 reschedules
+	// at the same instant, exactly like the legacy failure path.
+	BackoffBaseSec float64
+	// BackoffCapSec bounds the exponential backoff (0 = uncapped).
+	BackoffCapSec float64
+	// FlapThreshold cordons a worker that crashes this many times within
+	// FlapWindowSec (0 disables flap detection).
+	FlapThreshold int
+	// FlapWindowSec is the sliding crash-count window. Required when
+	// FlapThreshold is set.
+	FlapWindowSec float64
+	// FlapCooldownSec reopens a flap-cordoned worker after this long
+	// (0 = it stays cordoned until someone uncordons it).
+	FlapCooldownSec float64
+	// ShedBelowFrac defers fresh admissions straight into the queue (the
+	// 429 path) while live, uncordoned capacity is below this fraction of
+	// total capacity — the cluster stops accepting work it would only
+	// thrash on. 0 disables shedding.
+	ShedBelowFrac float64
+}
+
+// Validate rejects out-of-domain recovery policies with a named field.
+func (p RecoveryPolicy) Validate() error {
+	bad := func(field string, v float64) error {
+		return fmt.Errorf("cluster: recovery policy %s %g must be a finite non-negative number", field, v)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CheckpointEverySec", p.CheckpointEverySec},
+		{"MinSnapshotDelta", p.MinSnapshotDelta},
+		{"BackoffBaseSec", p.BackoffBaseSec},
+		{"BackoffCapSec", p.BackoffCapSec},
+		{"FlapWindowSec", p.FlapWindowSec},
+		{"FlapCooldownSec", p.FlapCooldownSec},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return bad(f.name, f.v)
+		}
+	}
+	if err := p.CheckpointCost.Validate(); err != nil {
+		return err
+	}
+	if p.RetryBudget < 0 {
+		return fmt.Errorf("cluster: recovery policy RetryBudget %d must be non-negative", p.RetryBudget)
+	}
+	if p.FlapThreshold < 0 {
+		return fmt.Errorf("cluster: recovery policy FlapThreshold %d must be non-negative", p.FlapThreshold)
+	}
+	if p.FlapThreshold > 0 && p.FlapWindowSec == 0 {
+		return fmt.Errorf("cluster: recovery policy FlapThreshold %d needs a FlapWindowSec", p.FlapThreshold)
+	}
+	if math.IsNaN(p.ShedBelowFrac) || p.ShedBelowFrac < 0 || p.ShedBelowFrac > 1 {
+		return fmt.Errorf("cluster: recovery policy ShedBelowFrac %g outside [0, 1]", p.ShedBelowFrac)
+	}
+	return nil
+}
+
+// withDefaults fills derived defaults after validation.
+func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
+	if p.CheckpointCost == (MigrationCost{}) {
+		p.CheckpointCost = DefaultMigrationCost()
+	}
+	if p.MinSnapshotDelta == 0 && p.CheckpointEverySec > 0 {
+		p.MinSnapshotDelta = p.CheckpointEverySec / 4
+	}
+	return p
+}
+
+// backoff returns the delay before restart attempt n (1-based).
+func (p RecoveryPolicy) backoff(n int) float64 {
+	if p.BackoffBaseSec == 0 {
+		return 0
+	}
+	d := p.BackoffBaseSec * math.Pow(2, float64(n-1))
+	if p.BackoffCapSec > 0 && d > p.BackoffCapSec {
+		d = p.BackoffCapSec
+	}
+	return d
+}
+
+// checkpointSkipFrac: a job this close to done is never frozen — the
+// snapshot's stall would cost more than the work it could ever save.
+const checkpointSkipFrac = 0.9
+
+// EnableSelfHealing installs a recovery policy on the manager. Call once,
+// before the run starts; it panics on an invalid policy, like the other
+// assembly-time setters. Periodic checkpointing (if enabled) starts one
+// scan interval into the run.
+func (m *Manager) EnableSelfHealing(p RecoveryPolicy) {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if m.recovery != nil {
+		panic("cluster: self-healing already enabled")
+	}
+	p = p.withDefaults()
+	m.recovery = &p
+	if p.CheckpointEverySec > 0 {
+		m.engine.After(p.CheckpointEverySec, sim.PriorityState, "manager.ckpt-scan", m.checkpointScan)
+	}
+}
+
+// Recovery returns the installed policy (nil when self-healing is off).
+func (m *Manager) Recovery() *RecoveryPolicy { return m.recovery }
+
+// Availability returns the manager's fault/recovery ledger. Always
+// non-nil; Finalize it at the end of the run before reading the report
+// accessors.
+func (m *Manager) Availability() *Availability { return m.avail }
+
+// OnRestore subscribes to checkpoint restores: a job resuming from a
+// periodic snapshot with progress intact. Distinct from OnPlace (fresh
+// container, possibly lost progress) and OnMigrate (lossless move to
+// another worker) so metrics can classify all three rebinds.
+func (m *Manager) OnRestore(fn func(jobName string, w *Worker, c runtime.Container)) {
+	m.onRestore = append(m.onRestore, fn)
+}
+
+// OnAbandon subscribes to jobs given up after exhausting their retry
+// budget. The runner counts abandons toward run termination — an
+// abandoned job will never exit.
+func (m *Manager) OnAbandon(fn func(jobName string)) {
+	m.onAbandon = append(m.onAbandon, fn)
+}
+
+// Abandoned returns how many jobs were given up after exhausting their
+// retry budget.
+func (m *Manager) Abandoned() int { return m.abandoned }
+
+// checkpointScan freezes every job that earned a fresh snapshot and
+// schedules its priced in-place restore, then chains the next scan. It
+// always runs on the cluster's serial lane; jobs are visited in name
+// order so the event sequence is deterministic.
+func (m *Manager) checkpointScan() {
+	p := m.recovery
+	names := make([]string, 0, len(m.placed))
+	for name, w := range m.placed {
+		if w != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	settled := make(map[*Worker]bool)
+	for _, name := range names {
+		w := m.placed[name]
+		if w == nil || w.Failed() {
+			continue
+		}
+		if !settled[w] {
+			// Lookup views carry lazily settled work; one stats pass per
+			// worker settles the pool so the guards below read fresh values.
+			w.RunningStats()
+			settled[w] = true
+		}
+		c, err := w.Lookup(name)
+		if err != nil || c.State != runtime.Running || c.Done {
+			continue
+		}
+		if c.Work-m.snapshots[name] < p.MinSnapshotDelta {
+			continue // not enough fresh work to pay for a snapshot
+		}
+		if prof, ok := m.profiles[name]; ok && c.Work >= checkpointSkipFrac*prof.TotalWork {
+			continue
+		}
+		m.freezeSnapshot(name, w, c.ID)
+	}
+	m.engine.After(p.CheckpointEverySec, sim.PriorityState, "manager.ckpt-scan", m.checkpointScan)
+}
+
+// freezeSnapshot checkpoints one running job and schedules its restore
+// after the policy's cost. While frozen the job is placed nowhere and
+// rides m.inflight, exactly like a migration: a crash of its worker
+// cannot lose it (its state already left the pool) and the rebalancer
+// cannot double-move it.
+func (m *Manager) freezeSnapshot(name string, w *Worker, containerID string) {
+	cp, err := w.Checkpoint(containerID)
+	if err != nil {
+		// The container raced an exit inside this event chain; nothing to
+		// snapshot.
+		return
+	}
+	m.avail.Checkpoints++
+	m.snapshots[name] = cp.Work
+	m.placed[name] = nil
+	m.inflight[name] = cp
+	m.trace(telemetry.PhaseCheckpoint, name, w.Name(), "freeze")
+	delay := m.recovery.CheckpointCost.Delay(cp.MemoryBytes)
+	m.engine.After(delay, sim.PriorityState, "manager.ckpt-restore."+name, func() {
+		delete(m.inflight, name)
+		m.restoreSnapshot(name, w, cp)
+	})
+}
+
+// restoreSnapshot lands a periodic snapshot back on its worker — or, if
+// the worker crashed (or filled up) while the job was frozen, wherever
+// the placement function says, or the admission queue with progress
+// preserved. A cordon alone does not evict the job: it was already
+// resident, and cordons only close *new* admissions.
+func (m *Manager) restoreSnapshot(name string, w *Worker, cp *runtime.Checkpoint) {
+	profile := m.profiles[name]
+	if !canRestoreInPlace(w, profile) {
+		alt := m.placement(m.workers, profile)
+		if alt == nil {
+			m.queue = append(m.queue, pendingJob{name: name, profile: profile, resumeWork: cp.Work})
+			m.trace(telemetry.PhaseCheckpoint, name, "", "restore queued (no hostable worker)")
+			return
+		}
+		w = alt
+	}
+	c, err := w.Restore(cp)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: restore %s on %s: %v", name, w.Name(), err))
+	}
+	m.placed[name] = w
+	m.trace(telemetry.PhaseCheckpoint, name, w.Name(), "restore "+c.ID)
+	m.avail.jobPlaced(name, float64(m.engine.Now()))
+	for _, fn := range m.onRestore {
+		fn(name, w, c)
+	}
+}
+
+// canRestoreInPlace is CanHost minus the cordon check: a frozen resident
+// job returning to its own worker is not a new admission.
+func canRestoreInPlace(w *Worker, p dlmodel.Profile) bool {
+	if w.failed {
+		return false
+	}
+	if w.maxContainers > 0 && w.RunningCount() >= w.maxContainers {
+		return false
+	}
+	if cap := w.rt.MemoryCapacity(); cap > 0 {
+		if w.rt.MemoryUsed()+p.MemoryBytes > cap {
+			return false
+		}
+	}
+	return true
+}
+
+// FailContainer kills one job's running container in place — the
+// transient single-container fault (OOM kill, crashing training process)
+// internal/faults injects. The worker survives; the job re-enters
+// through the same recovery path as a worker crash: snapshot resume,
+// retry budget, backoff.
+func (m *Manager) FailContainer(job string) error {
+	w := m.placed[job]
+	if w == nil {
+		if _, known := m.profiles[job]; !known {
+			return fmt.Errorf("cluster: kill unknown job %q", job)
+		}
+		return fmt.Errorf("cluster: kill %q: job is not placed on any worker", job)
+	}
+	c, err := w.Lookup(job)
+	if err != nil {
+		return fmt.Errorf("cluster: kill %q: %w", job, err)
+	}
+	if c.State != runtime.Running || c.Done {
+		return fmt.Errorf("cluster: kill %q: container is not running", job)
+	}
+	if err := w.Stop(c.ID); err != nil {
+		return fmt.Errorf("cluster: kill %q: %w", job, err)
+	}
+	// Stop settled the pool: re-read the husk for the work that died with
+	// it, then free the name so a retry can land back on this very node.
+	c, err = w.Lookup(job)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: kill %s: husk vanished: %v", job, err))
+	}
+	_ = w.Remove(c.ID)
+	m.placed[job] = nil
+	m.requeued++
+	m.avail.Kills++
+	m.trace(telemetry.PhaseKill, job, w.Name(), "container killed")
+	now := float64(m.engine.Now())
+	resume := m.resumeWorkFor(job, c.Work)
+	m.avail.jobLost(job, now, c.Work, resume)
+	m.rescheduleLost([]pendingJob{{name: job, profile: m.profiles[job], resumeWork: resume}})
+	return nil
+}
+
+// resumeWorkFor returns the work a restarted job resumes with: the best
+// of the legacy free-snapshot interval (EnableCheckpointing) and the last
+// priced periodic snapshot.
+func (m *Manager) resumeWorkFor(job string, workAtLoss float64) float64 {
+	resume := 0.0
+	if m.checkpointInterval > 0 {
+		resume = math.Floor(workAtLoss/m.checkpointInterval) * m.checkpointInterval
+	}
+	if snap, ok := m.snapshots[job]; ok && snap > resume {
+		resume = snap
+	}
+	return resume
+}
+
+// rescheduleLost routes lost placements through recovery. Without a
+// policy (or with budget and backoff both off) it reproduces the legacy
+// path byte-for-byte: one grouped same-instant reschedule at listener
+// priority. With one, each job pays its own backoff delay — and a job
+// over its retry budget is abandoned instead.
+func (m *Manager) rescheduleLost(lost []pendingJob) {
+	if len(lost) == 0 {
+		return
+	}
+	p := m.recovery
+	if p == nil || (p.RetryBudget == 0 && p.BackoffBaseSec == 0) {
+		m.engine.At(m.engine.Now(), sim.PriorityListener, "manager.reschedule", func() {
+			for _, job := range lost {
+				m.tryPlace(job)
+			}
+		})
+		return
+	}
+	for _, job := range lost {
+		job := job
+		m.attempts[job.name]++
+		n := m.attempts[job.name]
+		if p.RetryBudget > 0 && n > p.RetryBudget {
+			m.abandon(job.name)
+			continue
+		}
+		delay := p.backoff(n)
+		if delay <= 0 {
+			m.engine.At(m.engine.Now(), sim.PriorityListener,
+				"manager.reschedule."+job.name, func() { m.tryPlace(job) })
+			continue
+		}
+		m.engine.After(delay, sim.PriorityState,
+			"manager.reschedule."+job.name, func() { m.tryPlace(job) })
+	}
+}
+
+// abandon gives up on a job permanently: its name stays reserved, its
+// record stays unfinished, and OnAbandon subscribers (the runner's
+// termination counter) hear about it exactly once.
+func (m *Manager) abandon(job string) {
+	m.trace(telemetry.PhaseGiveUp, job, "", "retry budget exhausted")
+	m.avail.jobAbandoned(job)
+	m.abandoned++
+	for _, fn := range m.onAbandon {
+		fn(job)
+	}
+}
+
+// noteFlap records one crash of w for flap detection and cordons the
+// worker when it crossed the policy's threshold inside the sliding
+// window. Crash history resets on cordon so the cooldown starts clean.
+func (m *Manager) noteFlap(w *Worker, now float64) {
+	p := m.recovery
+	if p == nil || p.FlapThreshold <= 0 {
+		return
+	}
+	log := append(m.crashLog[w.Name()], now)
+	cut := 0
+	for cut < len(log) && log[cut] < now-p.FlapWindowSec {
+		cut++
+	}
+	log = log[cut:]
+	m.crashLog[w.Name()] = log
+	if len(log) < p.FlapThreshold || w.Cordoned() {
+		return
+	}
+	w.Cordon()
+	m.avail.Cordons++
+	m.trace(telemetry.PhaseCordon, "", w.Name(), "flap threshold crossed")
+	m.crashLog[w.Name()] = nil
+	if p.FlapCooldownSec > 0 {
+		m.engine.After(p.FlapCooldownSec, sim.PriorityState,
+			"manager.uncordon."+w.Name(), func() {
+				w.Uncordon()
+				m.trace(telemetry.PhaseCordon, "", w.Name(), "cooldown over; reopened")
+				m.Kick()
+			})
+	}
+}
+
+// shouldShed reports whether fresh admissions are currently deferred:
+// live, uncordoned capacity fell below the policy's watermark fraction.
+func (m *Manager) shouldShed() bool {
+	p := m.recovery
+	if p == nil || p.ShedBelowFrac <= 0 {
+		return false
+	}
+	total, alive := 0.0, 0.0
+	for _, w := range m.workers {
+		c := w.Capacity()
+		total += c
+		if !w.Failed() && !w.Cordoned() {
+			alive += c
+		}
+	}
+	return total > 0 && alive < p.ShedBelowFrac*total
+}

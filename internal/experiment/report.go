@@ -107,12 +107,54 @@ func ReportScenario(w io.Writer, outs []ScenarioOutcome) {
 			status = fmt.Sprintf("FAILED %d/%d", o.Failed(), len(o.Reports))
 		case agg.dropped:
 			status = "jobs dropped"
+		case agg.abandoned:
+			status = "jobs abandoned"
 		case !agg.finished:
 			status = "horizon hit"
 		}
 		row = append(row, status)
 		rows = append(rows, row)
 	}
+	plot.Table(w, header, rows)
+	reportAvailability(w, outs)
+}
+
+// reportAvailability renders the fault/recovery companion table for the
+// outcomes whose runs saw chaos activity. Healthy sweeps print nothing —
+// the table only appears when at least one scenario was faulted, so the
+// classic summary output stays byte-identical.
+func reportAvailability(w io.Writer, outs []ScenarioOutcome) {
+	header := []string{"scenario", "avail", "down-cap-s", "crashes", "kills", "degr",
+		"ckpts", "r-ckpt", "r-scratch", "wasted-s", "mttr-p50", "mttr-p95",
+		"abandoned", "shed", "cordons"}
+	var rows [][]string
+	for _, o := range outs {
+		a, ok := o.aggregateAvailability()
+		if !ok {
+			continue
+		}
+		rows = append(rows, []string{
+			o.Scenario.Name,
+			fmt.Sprintf("%.4f", a.avail),
+			fmt.Sprintf("%.1f", a.downSec),
+			fmt.Sprintf("%.1f", a.crashes),
+			fmt.Sprintf("%.1f", a.kills),
+			fmt.Sprintf("%.1f", a.degraded),
+			fmt.Sprintf("%.1f", a.ckpts),
+			fmt.Sprintf("%.1f", a.rCkpt),
+			fmt.Sprintf("%.1f", a.rScratch),
+			fmt.Sprintf("%.1f", a.wasted),
+			orDash(a.mttrP50, "%.1f"),
+			orDash(a.mttrP95, "%.1f"),
+			fmt.Sprintf("%.1f", a.abandoned),
+			fmt.Sprintf("%.1f", a.shed),
+			fmt.Sprintf("%.1f", a.cordons),
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Availability (fault-injected runs, means across seeds)")
 	plot.Table(w, header, rows)
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/flowcon"
 	"repro/internal/metrics"
 	rt "repro/internal/runtime"
@@ -72,6 +73,18 @@ type Spec struct {
 	// last snapshot after a failure (0 = no checkpointing, the paper's
 	// behaviour).
 	CheckpointWork float64
+	// Faults attaches the seeded chaos engine (worker churn, container
+	// kills, degraded nodes, scripted faults) to the run. Nil injects
+	// nothing. The fault trace is a pure function of (Faults, FaultSeed).
+	Faults *faults.Plan
+	// FaultSeed seeds the chaos engine's RNG streams; scenarios set it to
+	// the workload seed so one seed fixes the whole run.
+	FaultSeed int64
+	// Recovery installs the manager's self-healing layer (periodic priced
+	// checkpoints, retry budget + backoff, flap cordons, load shedding).
+	// Nil keeps the legacy recovery path: immediate reschedule, unlimited
+	// retries, snapshots only via CheckpointWork.
+	Recovery *cluster.RecoveryPolicy
 	// ClusterPolicy constructs an optional cluster-level policy (e.g. the
 	// GE-aware rebalancer in internal/migrate) attached to the manager
 	// alongside the per-worker policies. Must return a fresh instance per
@@ -146,6 +159,14 @@ type Result struct {
 	// Requeued counts job placements lost to injected worker failures
 	// and rescheduled.
 	Requeued int
+	// Abandoned counts jobs given up after exhausting the recovery
+	// policy's retry budget (0 without a budget).
+	Abandoned int
+	// Availability is the manager's finalized fault/recovery ledger —
+	// downtime, restart provenance, wasted work, MTTR quantiles. Nil for
+	// a run that saw no fault or self-healing activity, so healthy-run
+	// reports stay unchanged.
+	Availability *cluster.Availability
 	// Migrated counts completed live migrations (rebalancer moves and
 	// drains; zero when no cluster policy or drain ran).
 	Migrated int
@@ -248,6 +269,16 @@ func RunE(spec Spec) (*Result, error) {
 	if err := spec.MigrationCost.Validate(); err != nil {
 		return nil, fmt.Errorf("experiment: spec %q: %v", spec.Name, err)
 	}
+	if spec.Faults != nil {
+		if err := spec.Faults.Validate(max(spec.Workers, 1)); err != nil {
+			return nil, fmt.Errorf("experiment: spec %q: %v", spec.Name, err)
+		}
+	}
+	if spec.Recovery != nil {
+		if err := spec.Recovery.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: spec %q: %v", spec.Name, err)
+		}
+	}
 	if spec.MigrationCost == (cluster.MigrationCost{}) {
 		spec.MigrationCost = cluster.DefaultMigrationCost()
 	}
@@ -334,6 +365,24 @@ func RunE(spec Spec) (*Result, error) {
 		collector.TrackJobMigrated(name, w.Name(), modelOf[name], c.ID, c.StartedAt)
 		spec.Tracer.Record(c.StartedAt, telemetry.PhaseRun, name, w.Name(), c.ID)
 	})
+	manager.OnRestore(func(name string, w *cluster.Worker, c rt.Container) {
+		collector.TrackJobCheckpointed(name, w.Name(), modelOf[name], c.ID, c.StartedAt)
+		spec.Tracer.Record(c.StartedAt, telemetry.PhaseRun, name, w.Name(), c.ID)
+	})
+	if spec.Recovery != nil {
+		manager.EnableSelfHealing(*spec.Recovery)
+	}
+	if spec.Faults != nil && !spec.Faults.Empty() {
+		// Degraded-node mode scales a daemon's capacity under the runtime
+		// interface; the callback runs inside lane-0 injector events, where
+		// worker state is safe to touch (exactly like Worker.Fail).
+		setCapacity := func(worker int, factor float64) {
+			daemons[worker].SetCapacity(spec.Capacity * factor)
+		}
+		if _, err := faults.Attach(engine, manager, *spec.Faults, spec.FaultSeed, setCapacity); err != nil {
+			return nil, fmt.Errorf("experiment: spec %q: %v", spec.Name, err)
+		}
+	}
 	var clusterPolicy sched.ClusterPolicy
 	if spec.ClusterPolicy != nil {
 		clusterPolicy = spec.ClusterPolicy()
@@ -389,6 +438,15 @@ func RunE(spec Spec) (*Result, error) {
 			}
 		})
 	}
+	// An abandoned job (retry budget exhausted) will never exit: it counts
+	// toward termination here, or the run would idle to the horizon. Its
+	// last container already exited un-Done, so the two paths never both
+	// count one job.
+	manager.OnAbandon(func(string) {
+		if finished.Add(1) == submitted.Load() && exhausted.Load() {
+			engine.Stop()
+		}
+	})
 
 	var streamErr error
 	if spec.Arrivals == nil {
@@ -491,7 +549,13 @@ func RunE(spec Spec) (*Result, error) {
 			manager.Submitted() == len(collector.Jobs()) && exhausted.Load(),
 		Collector: collector,
 		Requeued:  manager.Requeued(),
+		Abandoned: manager.Abandoned(),
 		Migrated:  manager.Migrated(),
+	}
+	avail := manager.Availability()
+	avail.Finalize(float64(engine.Now()))
+	if avail.Faulted() {
+		res.Availability = avail
 	}
 	if clusterPolicy != nil {
 		res.ClusterPolicy = clusterPolicy.Name()

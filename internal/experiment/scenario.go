@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/migrate"
 	"repro/internal/sched"
@@ -79,6 +80,13 @@ type Scenario struct {
 	// MigrationCost (zero value = cluster.DefaultMigrationCost()).
 	Drains        []Drain
 	MigrationCost cluster.MigrationCost
+	// Faults attaches the seeded chaos engine (see Spec.Faults). The
+	// fault RNG is seeded with the workload seed, so one seed fixes the
+	// whole run — schedule and fault trace both.
+	Faults *faults.Plan
+	// Recovery installs the manager's self-healing layer (see
+	// Spec.Recovery).
+	Recovery *cluster.RecoveryPolicy
 	// SimShards is the intra-run event-lane parallelism (see
 	// Spec.SimShards): 0/1 serial, N>1 that many shard goroutines,
 	// negative auto (GOMAXPROCS). Output is byte-identical at any value.
@@ -123,6 +131,9 @@ func (s Scenario) Spec(seed int64) Spec {
 		ClusterPolicy:          s.ClusterPolicy,
 		Drains:                 s.Drains,
 		MigrationCost:          s.MigrationCost,
+		Faults:                 s.Faults,
+		FaultSeed:              seed,
+		Recovery:               s.Recovery,
 		SimShards:              s.SimShards,
 		TraceLevel:             s.TraceLevel,
 	}
@@ -184,6 +195,16 @@ func (s Scenario) validate() error {
 	}
 	if err := s.MigrationCost.Validate(); err != nil {
 		return fmt.Errorf("experiment: scenario %q: %v", s.Name, err)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(max(s.Workers, 1)); err != nil {
+			return fmt.Errorf("experiment: scenario %q: %v", s.Name, err)
+		}
+	}
+	if s.Recovery != nil {
+		if err := s.Recovery.Validate(); err != nil {
+			return fmt.Errorf("experiment: scenario %q: %v", s.Name, err)
+		}
 	}
 	if s.Rebalance != nil {
 		if s.ClusterPolicy != nil {
@@ -479,14 +500,15 @@ var geFractions = []float64{0.25, 0.50, 0.75}
 
 // scenarioRow aggregates one outcome for the summary table.
 type scenarioRow struct {
-	jobs     float64   // mean jobs per seed
-	makespan float64   // mean across seeds
-	meanCT   float64   // mean completion time, pooled over seeds
-	p95CT    float64   // 95th percentile completion time, pooled
-	migrated float64   // mean completed live migrations per seed
-	ge       []float64 // mean G at each geFraction
-	finished bool      // every job in every seed finished
-	dropped  bool      // some submitted jobs were never placed
+	jobs      float64   // mean jobs per seed
+	makespan  float64   // mean across seeds
+	meanCT    float64   // mean completion time, pooled over seeds
+	p95CT     float64   // 95th percentile completion time, pooled
+	migrated  float64   // mean completed live migrations per seed
+	ge        []float64 // mean G at each geFraction
+	finished  bool      // every job in every seed finished
+	dropped   bool      // some submitted jobs were never placed
+	abandoned bool      // some jobs exhausted their retry budget
 }
 
 // aggregate computes the row over an outcome's successful results.
@@ -511,6 +533,9 @@ func (o ScenarioOutcome) aggregate() (scenarioRow, bool) {
 		if res.Submitted > len(res.Jobs) {
 			row.finished = false
 			row.dropped = true
+		}
+		if res.Abandoned > 0 {
+			row.abandoned = true
 		}
 		for _, j := range res.Jobs {
 			if j.Finished {
@@ -561,4 +586,90 @@ func (o ScenarioOutcome) aggregate() (scenarioRow, bool) {
 		}
 	}
 	return row, true
+}
+
+// availabilityRow aggregates one outcome's fault/recovery ledgers for the
+// availability table: per-seed means of the counters and of the job-level
+// MTTR quantiles (quantile sketches do not merge across runs, so the mean
+// of per-seed quantiles is the honest pooled figure).
+type availabilityRow struct {
+	avail     float64 // mean delivered/ideal capacity fraction
+	downSec   float64 // mean capacity-weighted worker down-seconds
+	crashes   float64
+	kills     float64
+	degraded  float64
+	ckpts     float64 // periodic snapshots taken
+	rCkpt     float64 // restarts resumed from a checkpoint
+	rScratch  float64 // restarts from scratch
+	wasted    float64 // cpu-seconds of training lost to faults
+	mttrP50   float64 // NaN when no seed recorded a recovery
+	mttrP95   float64
+	abandoned float64
+	shed      float64
+	cordons   float64
+}
+
+// aggregateAvailability averages the ledger across the outcome's faulted
+// seeds. ok=false when no seed saw fault activity (Result.Availability is
+// attached only then), which keeps healthy scenarios out of the table.
+func (o ScenarioOutcome) aggregateAvailability() (availabilityRow, bool) {
+	var row availabilityRow
+	var p50s, p95s []float64
+	n := 0
+	for _, res := range o.Results() {
+		a := res.Availability
+		if a == nil {
+			continue
+		}
+		n++
+		row.avail += a.Frac()
+		row.downSec += a.WorkerDownSec
+		row.crashes += float64(a.Crashes)
+		row.kills += float64(a.Kills)
+		row.degraded += float64(a.Degradations)
+		row.ckpts += float64(a.Checkpoints)
+		row.rCkpt += float64(a.RestartsFromCheckpoint)
+		row.rScratch += float64(a.RestartsFromScratch)
+		row.wasted += a.WastedWorkSec
+		row.abandoned += float64(res.Abandoned)
+		row.shed += float64(a.Shed)
+		row.cordons += float64(a.Cordons)
+		if p := a.MTTRQuantile(0.50); !math.IsNaN(p) {
+			p50s = append(p50s, p)
+		}
+		if p := a.MTTRQuantile(0.95); !math.IsNaN(p) {
+			p95s = append(p95s, p)
+		}
+	}
+	if n == 0 {
+		return availabilityRow{}, false
+	}
+	f := float64(n)
+	row.avail /= f
+	row.downSec /= f
+	row.crashes /= f
+	row.kills /= f
+	row.degraded /= f
+	row.ckpts /= f
+	row.rCkpt /= f
+	row.rScratch /= f
+	row.wasted /= f
+	row.abandoned /= f
+	row.shed /= f
+	row.cordons /= f
+	row.mttrP50 = meanOrNaN(p50s)
+	row.mttrP95 = meanOrNaN(p95s)
+	return row, true
+}
+
+// meanOrNaN averages xs, with NaN as the "no sample" marker for empty.
+func meanOrNaN(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
 }

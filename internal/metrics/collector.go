@@ -34,6 +34,9 @@ type JobRecord struct {
 	Restarts int
 	// Migrations counts lossless live-migration thaws (progress intact).
 	Migrations int
+	// Checkpoints counts periodic-snapshot restores by the self-healing
+	// layer (progress intact, job stayed resident or re-placed lossless).
+	Checkpoints int
 }
 
 // CompletionTime returns finish − start, the paper's "individual job
@@ -177,6 +180,22 @@ func (c *Collector) TrackJobMigrated(name, worker, model, containerID string, st
 	}
 	c.rebind(r, name, worker, containerID)
 	r.Migrations++
+}
+
+// TrackJobCheckpointed re-binds a job to the container a periodic
+// checkpoint restored it into. Call from the manager's OnRestore hook:
+// like a migration thaw the rebind is lossless, but the job (usually)
+// never left its worker, so it counts as a Checkpoint — neither a
+// Restart nor a Migration. A job never seen before falls through to
+// TrackJob (defensive; the manager always places before it snapshots).
+func (c *Collector) TrackJobCheckpointed(name, worker, model, containerID string, startedAt float64) {
+	r, ok := c.jobs[name]
+	if !ok {
+		c.TrackJob(name, worker, model, containerID, startedAt)
+		return
+	}
+	c.rebind(r, name, worker, containerID)
+	r.Checkpoints++
 }
 
 // rebind points an open job record at a new container.

@@ -122,6 +122,25 @@ func NewDaemon(engine sim.Scheduler, capacity float64) *Daemon {
 // Capacity returns the node's CPU capacity.
 func (d *Daemon) Capacity() float64 { return d.capacity }
 
+// SetCapacity changes the node's effective CPU capacity mid-run — the
+// "degraded node" fault mode (thermal throttling, a sick disk stealing
+// cycles, a noisy co-tenant). Consumption is settled at the old capacity
+// first, then every running container is reallocated under the new one,
+// so the change takes effect exactly at the current virtual instant.
+// Like Stop and Checkpoint it must be called from the daemon's own lane
+// or a cluster-level event (the fault injector's discipline).
+func (d *Daemon) SetCapacity(capacity float64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simdocker: capacity %g must be positive", capacity))
+	}
+	if capacity == d.capacity {
+		return
+	}
+	d.settle()
+	d.capacity = capacity
+	d.reallocate()
+}
+
 // Scheduler returns the scheduler the daemon runs on — the engine itself
 // in a serial simulation, the worker's lane in a sharded one. Components
 // that must observe the daemon's clock (the metrics sampler) schedule

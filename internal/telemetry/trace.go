@@ -43,6 +43,34 @@ const (
 	// PhaseFail marks the job's worker failing under it (the manager
 	// reschedules it afterwards, emitting a fresh admit/place).
 	PhaseFail Phase = "fail"
+
+	// The chaos/self-healing phases below carry fault-injection and
+	// recovery events (internal/faults + the cluster self-healing layer).
+	// Worker-level spans leave the job field empty.
+
+	// PhaseCrash marks a worker going down (injected churn or a scripted
+	// crash). Job is empty; the worker names the casualty.
+	PhaseCrash Phase = "crash"
+	// PhaseRepair marks a crashed worker coming back online.
+	PhaseRepair Phase = "repair"
+	// PhaseKill marks a transient single-container failure: the job's
+	// container died but its worker survived.
+	PhaseKill Phase = "kill"
+	// PhaseDegrade marks a worker's effective capacity changing (the note
+	// carries the factor; 1 restores full capacity).
+	PhaseDegrade Phase = "degrade"
+	// PhaseCheckpoint marks a periodic snapshot of a running job (freeze
+	// and local restore, distinguished by the note).
+	PhaseCheckpoint Phase = "checkpoint"
+	// PhaseShed marks an admission deferred into the queue because
+	// surviving capacity fell below the shed watermark (the 429 path).
+	PhaseShed Phase = "shed"
+	// PhaseCordon marks flap detection cordoning (or later reopening) a
+	// repeatedly crashing worker.
+	PhaseCordon Phase = "cordon"
+	// PhaseGiveUp marks a job abandoned after exhausting its retry
+	// budget.
+	PhaseGiveUp Phase = "giveup"
 )
 
 // Span is one recorded lifecycle step, stamped with both clocks: the
